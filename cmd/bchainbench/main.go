@@ -1,0 +1,51 @@
+// Command bchainbench regenerates the paper's evaluation figures
+// (Figs. 7-22) using the BChainBench workload (Table II). Each figure
+// prints as a table of the same series the paper plots.
+//
+// Usage:
+//
+//	bchainbench [-fig N] [-scale S] [-dir DIR]
+//
+//	-fig N     regenerate only figure N (7..22); default all
+//	-scale S   dataset scale relative to paper sizes (default 0.05;
+//	           1.0 loads paper-scale datasets and can take a while)
+//	-dir DIR   scratch directory for datasets (default a temp dir;
+//	           reusing a directory reuses its datasets across runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sebdb/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (7-22); 0 = all")
+	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
+	dir := flag.String("dir", "", "scratch directory for datasets")
+	flag.Parse()
+
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "bchainbench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(scratch)
+	}
+
+	var err error
+	if *fig == 0 {
+		err = bench.RunAll(os.Stdout, scratch, *scale)
+	} else {
+		err = bench.RunFigure(os.Stdout, *fig, scratch, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bchainbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command sebdb-cli is an interactive SQL-like shell for SEBDB. It
+// speaks to a running sebdb-server (-connect) or opens a local data
+// directory directly (-dir), and accepts the full language of Table II:
+// CREATE, INSERT, SELECT (with WHERE / BETWEEN / WINDOW), TRACE, joins
+// (including onchain./offchain. qualified) and GET BLOCK.
+//
+// Usage:
+//
+//	sebdb-cli -dir ./sebdb-data            # embedded engine
+//	sebdb-cli -connect 127.0.0.1:7070      # remote node
+//	echo 'SELECT * FROM donate' | sebdb-cli -dir ./data
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sebdb/internal/core"
+	"sebdb/internal/node"
+)
+
+// executor abstracts local vs remote execution.
+type executor func(sql string) (*core.Result, error)
+
+func main() {
+	dir := flag.String("dir", "", "local data directory (embedded mode)")
+	connect := flag.String("connect", "", "remote node address")
+	flag.Parse()
+
+	var run executor
+	switch {
+	case *connect != "":
+		remote, err := node.DialNode(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer remote.Close()
+		run = remote.SQL
+	case *dir != "":
+		engine, err := core.Open(core.Config{Dir: *dir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			engine.Flush()
+			engine.Close()
+		}()
+		run = func(sql string) (*core.Result, error) { return engine.Execute(sql) }
+	default:
+		fmt.Fprintln(os.Stderr, "need -dir or -connect")
+		os.Exit(2)
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("SEBDB shell — SQL-like statements, \\q to quit")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Print("sebdb> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			break
+		}
+		res, err := run(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(res *core.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		rendered[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			rendered[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	line(res.Columns)
+	seps := make([]string, len(res.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range rendered {
+		line(row)
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

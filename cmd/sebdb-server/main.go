@@ -1,0 +1,108 @@
+// Command sebdb-server runs one SEBDB full node: the engine over a
+// local data directory, a TCP service for peers and thin clients, and
+// gossip-based block synchronisation against the given peers.
+//
+// Usage:
+//
+//	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
+//	    [-peer host:port]... [-signer node0] [-auth table.col]...
+//
+// A standalone node packages its own blocks (submit transactions via
+// the SQL interface, e.g. from sebdb-cli); nodes with peers follow the
+// longest chain via gossip.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sebdb/internal/core"
+	"sebdb/internal/node"
+)
+
+type listFlag []string
+
+// String renders the accumulated values for flag's usage output.
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+
+// Set appends one occurrence of the repeatable flag.
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	dir := flag.String("dir", "./sebdb-data", "data directory")
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	signer := flag.String("signer", "node0", "block signer identity")
+	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
+	var peers, authIdx listFlag
+	flag.Var(&peers, "peer", "peer address (repeatable)")
+	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
+	flag.Parse()
+
+	mode := core.CacheTxs
+	switch *cacheMode {
+	case "none":
+		mode = core.CacheNone
+	case "block":
+		mode = core.CacheBlocks
+	case "tx":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cache policy %q\n", *cacheMode)
+		os.Exit(2)
+	}
+
+	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	for _, spec := range authIdx {
+		i := strings.LastIndex(spec, ".")
+		if i < 0 {
+			fmt.Fprintf(os.Stderr, "bad -auth %q (want table.col)\n", spec)
+			os.Exit(2)
+		}
+		if err := engine.CreateAuthIndex(spec[:i], spec[i+1:]); err != nil {
+			// A table created later (DDL rides the chain) cannot be
+			// indexed yet; warn and continue so bootstrapping nodes can
+			// start before the schema exists. Re-run with -auth once the
+			// table is on chain.
+			fmt.Fprintf(os.Stderr, "warning: auth index %s: %v\n", spec, err)
+		}
+	}
+
+	n := node.New(engine)
+	defer n.Close()
+	addr, err := n.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sebdb-server: %s serving on %s, height %d\n", *signer, addr, engine.Height())
+
+	for _, p := range peers {
+		remote, err := node.DialNode(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peer %s: %v\n", p, err)
+			continue
+		}
+		n.Gossip.AddPeer(remote)
+		fmt.Printf("sebdb-server: gossiping with %s\n", p)
+	}
+	if len(peers) > 0 {
+		n.Gossip.Start()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sebdb-server: shutting down")
+}

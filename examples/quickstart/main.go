@@ -1,0 +1,73 @@
+// Quickstart: open a SEBDB engine, declare a table, insert tuples as
+// blockchain transactions and query them back with the SQL-like
+// language — the minimum end-to-end loop of the system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sebdb/internal/core"
+	"sebdb/internal/types"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sebdb-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open a single-node engine; it packages blocks itself.
+	engine, err := core.Open(core.Config{Dir: dir, BlockMaxTxs: 4, DefaultSender: "alice"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	// DDL straight from the paper's Example 1.
+	mustExec(engine, `CREATE Donate ( donor string, project string, amount decimal)`)
+
+	// Inserts become blockchain transactions; every 4 make a block.
+	mustExec(engine, `INSERT into Donate ("Jack", "Education", 100)`)
+	mustExec(engine, `INSERT into Donate ("Mary", "Education", 250)`)
+	mustExec(engine, `INSERT into Donate ("Jack", "Health", 80)`)
+	if _, err := engine.Execute(`INSERT INTO donate VALUES(?,?,?)`,
+		types.Str("Zoe"), types.Str("Health"), types.Dec(40)); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Flush(); err != nil { // package the remainder
+		log.Fatal(err)
+	}
+
+	// Queries: predicates, projections, and the implicit system columns.
+	show(engine, `SELECT * from Donate where donor = "Jack"`)
+	show(engine, `SELECT donor, amount FROM donate WHERE amount BETWEEN 50 AND 300`)
+	show(engine, `TRACE OPERATOR = "alice"`)
+	show(engine, `GET BLOCK ID=1`)
+
+	fmt.Printf("\nchain height: %d blocks\n", engine.Height())
+}
+
+func mustExec(e *core.Engine, sql string) {
+	if _, err := e.Execute(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func show(e *core.Engine, sql string) {
+	fmt.Printf("\n> %s\n", sql)
+	res, err := e.Execute(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Columns)
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(cells)
+	}
+}

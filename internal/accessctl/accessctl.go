@@ -1,0 +1,210 @@
+// Package accessctl implements the application layer's access control
+// (paper §III-B): "The access control verifies request permission
+// before execution, where a multi-channel method is adopted to protect
+// users' privacy." Tables are assigned to channels; participants are
+// members of channels; a request may only read or write tables of
+// channels its sender belongs to. The default channel is open to every
+// participant, so an engine without explicit configuration behaves as
+// before.
+package accessctl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op distinguishes reads from writes for permission purposes.
+type Op int
+
+const (
+	// OpRead covers SELECT, TRACE, joins and GET BLOCK.
+	OpRead Op = iota
+	// OpWrite covers INSERT and CREATE.
+	OpWrite
+)
+
+// String names the operation.
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// DefaultChannel is the channel tables belong to unless assigned
+// elsewhere; every participant is implicitly a member.
+const DefaultChannel = "public"
+
+// Controller is the per-node access-control state. Like the schema
+// catalog it is deterministic configuration replicated to all nodes of
+// a channel (in a deployment it would itself ride in on-chain config
+// transactions; the engine exposes hooks for that).
+type Controller struct {
+	mu sync.RWMutex
+	// members maps channel -> set of participant ids.
+	members map[string]map[string]bool
+	// tables maps table name -> channel.
+	tables map[string]string
+	// writers maps channel -> set of participants allowed to write; an
+	// absent entry means every member may write.
+	writers map[string]map[string]bool
+}
+
+// New returns a controller where everything is public.
+func New() *Controller {
+	return &Controller{
+		members: make(map[string]map[string]bool),
+		tables:  make(map[string]string),
+		writers: make(map[string]map[string]bool),
+	}
+}
+
+// CreateChannel declares a channel with an initial member set.
+func (c *Controller) CreateChannel(name string, members ...string) error {
+	name = strings.ToLower(name)
+	if name == "" {
+		return fmt.Errorf("accessctl: empty channel name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[name]; ok {
+		return fmt.Errorf("accessctl: channel %q already exists", name)
+	}
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[strings.ToLower(m)] = true
+	}
+	c.members[name] = set
+	return nil
+}
+
+// AddMember joins a participant to a channel.
+func (c *Controller) AddMember(channel, participant string) error {
+	channel = strings.ToLower(channel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.members[channel]
+	if !ok {
+		return fmt.Errorf("accessctl: no channel %q", channel)
+	}
+	set[strings.ToLower(participant)] = true
+	return nil
+}
+
+// RemoveMember removes a participant from a channel.
+func (c *Controller) RemoveMember(channel, participant string) error {
+	channel = strings.ToLower(channel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.members[channel]
+	if !ok {
+		return fmt.Errorf("accessctl: no channel %q", channel)
+	}
+	delete(set, strings.ToLower(participant))
+	return nil
+}
+
+// AssignTable places a table in a channel; subsequent requests on the
+// table are restricted to the channel's members.
+func (c *Controller) AssignTable(table, channel string) error {
+	table = strings.ToLower(table)
+	channel = strings.ToLower(channel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if channel != DefaultChannel {
+		if _, ok := c.members[channel]; !ok {
+			return fmt.Errorf("accessctl: no channel %q", channel)
+		}
+	}
+	c.tables[table] = channel
+	return nil
+}
+
+// RestrictWriters limits writes on a channel to the given participants
+// (members may still read).
+func (c *Controller) RestrictWriters(channel string, writers ...string) error {
+	channel = strings.ToLower(channel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[channel]; !ok && channel != DefaultChannel {
+		return fmt.Errorf("accessctl: no channel %q", channel)
+	}
+	set := make(map[string]bool, len(writers))
+	for _, w := range writers {
+		set[strings.ToLower(w)] = true
+	}
+	c.writers[channel] = set
+	return nil
+}
+
+// TableChannel reports the channel a table belongs to.
+func (c *Controller) TableChannel(table string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ch, ok := c.tables[strings.ToLower(table)]; ok {
+		return ch
+	}
+	return DefaultChannel
+}
+
+// Channels lists the participant's channels (always including the
+// default channel), sorted.
+func (c *Controller) Channels(participant string) []string {
+	participant = strings.ToLower(participant)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := []string{DefaultChannel}
+	for ch, set := range c.members {
+		if set[participant] {
+			out = append(out, ch)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrDenied wraps every permission failure.
+type ErrDenied struct {
+	Sender string
+	Table  string
+	Op     Op
+}
+
+// Error renders the denial.
+func (e *ErrDenied) Error() string {
+	return fmt.Sprintf("accessctl: %s denied %s on table %q", e.Sender, e.Op, e.Table)
+}
+
+// Check verifies that sender may perform op on table. Unassigned
+// tables live in the public channel, readable and writable by all.
+func (c *Controller) Check(sender, table string, op Op) error {
+	sender = strings.ToLower(sender)
+	table = strings.ToLower(table)
+	ch := c.TableChannel(table)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ch != DefaultChannel {
+		set := c.members[ch]
+		if set == nil || !set[sender] {
+			return &ErrDenied{Sender: sender, Table: table, Op: op}
+		}
+	}
+	if op == OpWrite {
+		if w, ok := c.writers[ch]; ok && !w[sender] {
+			return &ErrDenied{Sender: sender, Table: table, Op: op}
+		}
+	}
+	return nil
+}
+
+// CheckAll verifies op on every table in the list.
+func (c *Controller) CheckAll(sender string, tables []string, op Op) error {
+	for _, t := range tables {
+		if err := c.Check(sender, t, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package accessctl
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDefaultIsOpen(t *testing.T) {
+	c := New()
+	if err := c.Check("anyone", "anytable", OpRead); err != nil {
+		t.Errorf("public read denied: %v", err)
+	}
+	if err := c.Check("anyone", "anytable", OpWrite); err != nil {
+		t.Errorf("public write denied: %v", err)
+	}
+	if ch := c.TableChannel("anytable"); ch != DefaultChannel {
+		t.Errorf("TableChannel = %q", ch)
+	}
+}
+
+func TestChannelMembership(t *testing.T) {
+	c := New()
+	if err := c.CreateChannel("health", "school1", "charity"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateChannel("health"); err == nil {
+		t.Error("duplicate channel accepted")
+	}
+	if err := c.CreateChannel(""); err == nil {
+		t.Error("empty channel name accepted")
+	}
+	if err := c.AssignTable("doneeinfo", "health"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignTable("x", "ghost"); err == nil {
+		t.Error("assignment to missing channel accepted")
+	}
+
+	// Members read and write; outsiders are denied.
+	if err := c.Check("school1", "doneeinfo", OpRead); err != nil {
+		t.Errorf("member read denied: %v", err)
+	}
+	if err := c.Check("CHARITY", "DoneeInfo", OpWrite); err != nil {
+		t.Errorf("case-insensitive member write denied: %v", err)
+	}
+	err := c.Check("outsider", "doneeinfo", OpRead)
+	if err == nil {
+		t.Fatal("outsider read allowed")
+	}
+	var denied *ErrDenied
+	if !errors.As(err, &denied) || denied.Sender != "outsider" || denied.Op != OpRead {
+		t.Errorf("denial detail = %+v", err)
+	}
+	if denied.Error() == "" {
+		t.Error("empty denial message")
+	}
+
+	// Membership changes take effect.
+	if err := c.AddMember("health", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check("auditor", "doneeinfo", OpRead); err != nil {
+		t.Errorf("new member denied: %v", err)
+	}
+	if err := c.RemoveMember("health", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check("auditor", "doneeinfo", OpRead); err == nil {
+		t.Error("removed member still allowed")
+	}
+	if err := c.AddMember("ghost", "x"); err == nil {
+		t.Error("AddMember on missing channel accepted")
+	}
+	if err := c.RemoveMember("ghost", "x"); err == nil {
+		t.Error("RemoveMember on missing channel accepted")
+	}
+}
+
+func TestWriterRestriction(t *testing.T) {
+	c := New()
+	c.CreateChannel("ledger", "org1", "org2", "auditor")
+	c.AssignTable("transfer", "ledger")
+	if err := c.RestrictWriters("ledger", "org1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestrictWriters("ghost", "x"); err == nil {
+		t.Error("restriction on missing channel accepted")
+	}
+	// Readers unaffected; only org1 may write.
+	if err := c.Check("auditor", "transfer", OpRead); err != nil {
+		t.Errorf("reader denied: %v", err)
+	}
+	if err := c.Check("org1", "transfer", OpWrite); err != nil {
+		t.Errorf("writer denied: %v", err)
+	}
+	if err := c.Check("org2", "transfer", OpWrite); err == nil {
+		t.Error("non-writer member allowed to write")
+	}
+}
+
+func TestChannelsListing(t *testing.T) {
+	c := New()
+	c.CreateChannel("a", "p1")
+	c.CreateChannel("b", "p1", "p2")
+	got := c.Channels("p1")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != DefaultChannel {
+		t.Errorf("Channels(p1) = %v", got)
+	}
+	if got := c.Channels("p3"); len(got) != 1 || got[0] != DefaultChannel {
+		t.Errorf("Channels(p3) = %v", got)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	c := New()
+	c.CreateChannel("priv", "insider")
+	c.AssignTable("secret", "priv")
+	if err := c.CheckAll("insider", []string{"open", "secret"}, OpRead); err != nil {
+		t.Errorf("insider CheckAll: %v", err)
+	}
+	if err := c.CheckAll("outsider", []string{"open", "secret"}, OpRead); err == nil {
+		t.Error("outsider CheckAll passed")
+	}
+}

@@ -1,0 +1,290 @@
+package auth
+
+import (
+	"fmt"
+	"testing"
+
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/mbtree"
+	"sebdb/internal/types"
+)
+
+// buildALI makes a continuous ALI over "amount": block b holds 10 txs
+// with amounts b*10..b*10+9.
+func buildALI(t testing.TB, blocks int) *ALI {
+	t.Helper()
+	var sample []float64
+	for i := 0; i < blocks*10; i++ {
+		sample = append(sample, float64(i))
+	}
+	ali := NewContinuous("amount", layered.NewEqualDepth(sample, 10), 8)
+	tid := uint64(1)
+	for b := 0; b < blocks; b++ {
+		var recs []mbtree.Record
+		for i := 0; i < 10; i++ {
+			tx := &types.Transaction{
+				Tid: tid, Ts: int64(tid), SenID: "org1", Tname: "donate",
+				Args: []types.Value{types.Dec(float64(b*10 + i))},
+			}
+			tid++
+			recs = append(recs, mbtree.Record{
+				Key:     types.Dec(float64(b*10 + i)),
+				Payload: tx.EncodeBytes(),
+			})
+		}
+		ali.AppendBlock(uint64(b), recs)
+	}
+	return ali
+}
+
+func TestServeVerifyRoundTrip(t *testing.T) {
+	ali := buildALI(t, 10)
+	lo, hi := types.Dec(25), types.Dec(44)
+	ans := Serve(ali, 10, nil, lo, hi)
+	if len(ans.Blocks) == 0 {
+		t.Fatal("no block VOs returned")
+	}
+	digest, txs, err := VerifyAnswer(ans, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 20 {
+		t.Errorf("got %d txs, want 20", len(txs))
+	}
+	for _, tx := range txs {
+		v := tx.Args[0].Float()
+		if v < 25 || v > 44 {
+			t.Errorf("out-of-range tx amount %g", v)
+		}
+	}
+	// Auxiliary digest from an identical replica matches.
+	replica := buildALI(t, 10)
+	if Digest(replica, 10, nil, lo, hi) != digest {
+		t.Error("honest auxiliary digest mismatch")
+	}
+	// A diverged replica (different data) produces a different digest.
+	bad := buildALI(t, 9)
+	bad.AppendBlock(9, []mbtree.Record{{Key: types.Dec(30), Payload: []byte("forged")}})
+	if Digest(bad, 10, nil, lo, hi) == digest {
+		t.Error("forged auxiliary digest collided")
+	}
+}
+
+func TestServeRespectsHeightSnapshot(t *testing.T) {
+	ali := buildALI(t, 10)
+	lo, hi := types.Dec(0), types.Dec(99)
+	ans := Serve(ali, 5, nil, lo, hi) // snapshot at height 5
+	for _, b := range ans.Blocks {
+		if b.Bid >= 5 {
+			t.Errorf("block %d served beyond snapshot", b.Bid)
+		}
+	}
+	_, txs, err := VerifyAnswer(ans, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 50 {
+		t.Errorf("snapshot answer has %d txs, want 50", len(txs))
+	}
+	// Digest computed at the same height agrees even if the auxiliary
+	// node has more blocks (the paper's motivation for carrying h).
+	longer := buildALI(t, 12)
+	d1, _, _ := VerifyAnswer(ans, lo, hi)
+	if Digest(longer, 5, nil, lo, hi) != d1 {
+		t.Error("height-bound digest should be chain-length independent")
+	}
+}
+
+func TestVerifyAnswerRejectsTampering(t *testing.T) {
+	ali := buildALI(t, 6)
+	lo, hi := types.Dec(10), types.Dec(30)
+	ans := Serve(ali, 6, nil, lo, hi)
+
+	// Dropping a whole block VO changes the digest (detected when
+	// compared with auxiliaries), but out-of-order or over-height blocks
+	// fail locally.
+	tamper := *ans
+	tamper.Blocks = append([]BlockVO(nil), ans.Blocks...)
+	tamper.Blocks[0].Bid = 99
+	if _, _, err := VerifyAnswer(&tamper, lo, hi); err == nil {
+		t.Error("over-height block accepted")
+	}
+	if len(ans.Blocks) >= 2 {
+		tamper.Blocks = []BlockVO{ans.Blocks[1], ans.Blocks[0]}
+		if _, _, err := VerifyAnswer(&tamper, lo, hi); err == nil {
+			t.Error("out-of-order blocks accepted")
+		}
+	}
+	// Corrupt VO bytes.
+	tamper.Blocks = append([]BlockVO(nil), ans.Blocks...)
+	tamper.Blocks[0].Bytes = append([]byte(nil), ans.Blocks[0].Bytes...)
+	tamper.Blocks[0].Bytes[len(tamper.Blocks[0].Bytes)/2] ^= 0xFF
+	if d, _, err := VerifyAnswer(&tamper, lo, hi); err == nil {
+		honest, _, _ := VerifyAnswer(ans, lo, hi)
+		if d == honest {
+			t.Error("corrupted VO produced the honest digest")
+		}
+	}
+}
+
+func TestServeWithWindow(t *testing.T) {
+	ali := buildALI(t, 10)
+	window := bitmap.FromSlice([]int{2, 3})
+	ans := Serve(ali, 10, window, types.Dec(0), types.Dec(99))
+	if len(ans.Blocks) != 2 {
+		t.Fatalf("window answer has %d blocks", len(ans.Blocks))
+	}
+	_, txs, err := VerifyAnswer(ans, types.Dec(0), types.Dec(99))
+	if err != nil || len(txs) != 20 {
+		t.Errorf("window verify: %d txs, %v", len(txs), err)
+	}
+}
+
+func TestAnswerSize(t *testing.T) {
+	ali := buildALI(t, 10)
+	narrow := Serve(ali, 10, nil, types.Dec(30), types.Dec(35))
+	wide := Serve(ali, 10, nil, types.Dec(0), types.Dec(99))
+	if narrow.Size() >= wide.Size() {
+		t.Errorf("narrow VO (%d) not smaller than wide (%d)", narrow.Size(), wide.Size())
+	}
+}
+
+func TestDiscreteALI(t *testing.T) {
+	ali := NewDiscrete("tname", 8)
+	for b := 0; b < 5; b++ {
+		var recs []mbtree.Record
+		for i := 0; i < 4; i++ {
+			name := "donate"
+			if (b+i)%2 == 0 {
+				name = "transfer"
+			}
+			tx := &types.Transaction{Tid: uint64(b*4 + i + 1), Tname: name, SenID: "org1"}
+			recs = append(recs, mbtree.Record{Key: types.Str(name), Payload: tx.EncodeBytes()})
+		}
+		ali.AppendBlock(uint64(b), recs)
+	}
+	ans := Serve(ali, 5, nil, types.Str("transfer"), types.Str("transfer"))
+	_, txs, err := VerifyAnswer(ans, types.Str("transfer"), types.Str("transfer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 10 {
+		t.Errorf("tracking answer has %d txs, want 10", len(txs))
+	}
+	for _, tx := range txs {
+		if tx.Tname != "transfer" {
+			t.Errorf("wrong tx type %q", tx.Tname)
+		}
+	}
+}
+
+func TestBasicApproach(t *testing.T) {
+	// Build a small real chain for the baseline.
+	var headers []types.BlockHeader
+	var blocks []*types.Block
+	var prev *types.BlockHeader
+	tid := uint64(1)
+	for b := 0; b < 5; b++ {
+		var txs []*types.Transaction
+		for i := 0; i < 6; i++ {
+			txs = append(txs, &types.Transaction{
+				Tid: tid, Ts: int64(tid), SenID: "org1", Tname: "donate",
+				Args: []types.Value{types.Dec(float64(tid))},
+			})
+			tid++
+		}
+		blk := types.NewBlock(prev, txs, int64(b), "node0")
+		prev = &blk.Header
+		headers = append(headers, blk.Header)
+		blocks = append(blocks, blk)
+	}
+	ans := &BasicAnswer{Height: 5, Blocks: blocks}
+	match := func(tx *types.Transaction) bool { return tx.Args[0].Float() >= 10 && tx.Args[0].Float() <= 20 }
+	txs, err := BasicVerify(ans, headers, match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 11 {
+		t.Errorf("basic verify returned %d txs", len(txs))
+	}
+	if ans.Size() <= 0 {
+		t.Error("basic answer size not accounted")
+	}
+	// Tampered block body must be rejected.
+	blocks[2].Txs[0].Args[0] = types.Dec(9999)
+	if _, err := BasicVerify(ans, headers, match); err == nil {
+		t.Error("tampered block accepted by basic verify")
+	}
+}
+
+func TestSamplingEquations(t *testing.T) {
+	// With no Byzantine nodes a digest is never wrong.
+	if got := WrongDigestProbability(0, 10, 3, 3); got != 0 {
+		t.Errorf("p=0: θ = %g", got)
+	}
+	// m greater than the Byzantine maximum forces θ = 0.
+	if got := WrongDigestProbability(0.4, 10, 4, 3); got != 0 {
+		t.Errorf("m>max: θ = %g", got)
+	}
+	// θ decreases as m grows (more identical replies, more confidence).
+	prev := 1.0
+	for m := 1; m <= 5; m++ {
+		θ := WrongDigestProbability(0.2, 20, m, 20)
+		if θ > prev {
+			t.Errorf("θ not monotone: m=%d gives %g > %g", m, θ, prev)
+		}
+		prev = θ
+	}
+	// For m=1, θ equals p: a single reply is wrong with probability p.
+	if θ := WrongDigestProbability(0.3, 10, 1, 10); θ < 0.299 || θ > 0.301 {
+		t.Errorf("m=1: θ = %g, want 0.3", θ)
+	}
+	// Degenerate inputs.
+	if WrongDigestProbability(0.3, 5, 6, 10) != 1 {
+		t.Error("m>n should be conservative 1")
+	}
+	if WrongDigestProbability(0.3, 5, 0, 10) != 1 {
+		t.Error("m=0 should be conservative 1")
+	}
+	// Equations 4 and 5 are mirror images.
+	for _, p := range []float64{0.1, 0.25, 0.33} {
+		for m := 1; m <= 4; m++ {
+			if w, h := WinProbability(p, m), HonestProbability(1-p, m); fmt.Sprintf("%.12g", w) != fmt.Sprintf("%.12g", h) {
+				t.Errorf("p=%g m=%d: pw=%g mirror=%g", p, m, w, h)
+			}
+		}
+	}
+}
+
+func TestMinIdenticalFor(t *testing.T) {
+	// PBFT with 4 nodes, 1 Byzantine (p=0.25, max=1): m=2 suffices since
+	// m > max.
+	if m := MinIdenticalFor(0.25, 4, 1, 0.01); m != 2 {
+		t.Errorf("PBFT-4: m = %d, want 2", m)
+	}
+	// Heavily Byzantine environment: larger m needed.
+	m1 := MinIdenticalFor(0.3, 50, 50, 0.01)
+	m2 := MinIdenticalFor(0.3, 50, 50, 0.0001)
+	if m1 == 0 || m2 == 0 || m2 < m1 {
+		t.Errorf("MinIdenticalFor not monotone in θ: %d vs %d", m1, m2)
+	}
+	// Unachievable credibility returns 0.
+	if m := MinIdenticalFor(0.5, 3, 3, 1e-12); m != 0 {
+		t.Errorf("impossible target returned %d", m)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {0, 0, 1}, {3, 5, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package auth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/mbtree"
+	"sebdb/internal/merkle"
+	"sebdb/internal/types"
+)
+
+// BlockVO is the verification object of one visited block.
+type BlockVO struct {
+	// Bid is the block id the VO belongs to.
+	Bid uint64
+	// Bytes is the encoded mbtree VO.
+	Bytes []byte
+}
+
+// Answer is the first-phase reply of a full node: the snapshot height
+// and one VO per candidate block (paper §VI: "the VO consists of one VO
+// each MB-tree the query visited", plus the block height h).
+type Answer struct {
+	Height uint64
+	Blocks []BlockVO
+}
+
+// Size returns the total VO size in bytes — the paper's Fig. 17 metric.
+func (a *Answer) Size() int {
+	n := 8
+	for _, b := range a.Blocks {
+		n += 8 + len(b.Bytes)
+	}
+	return n
+}
+
+// candidates computes the deterministic candidate-block set of a query
+// at snapshot height: first-level filter ∩ eligible blocks ∩ bid < height.
+func candidates(ali *ALI, height uint64, eligible *bitmap.Bitmap, lo, hi types.Value) []int {
+	cand := ali.CandidateBlocks(lo, hi)
+	if eligible != nil {
+		cand.And(eligible)
+	}
+	var out []int
+	cand.ForEach(func(bid int) bool {
+		if uint64(bid) < height {
+			out = append(out, bid)
+		}
+		return true
+	})
+	return out
+}
+
+// Serve is the full node's side of phase one: it executes the range
+// query [lo, hi] over the ALI at the given snapshot height and returns
+// the answer with one VO per candidate block. eligible restricts the
+// block set (time window); nil means all blocks.
+func Serve(ali *ALI, height uint64, eligible *bitmap.Bitmap, lo, hi types.Value) *Answer {
+	ans := &Answer{Height: height}
+	for _, bid := range candidates(ali, height, eligible, lo, hi) {
+		t := ali.Tree(uint64(bid))
+		if t == nil {
+			continue
+		}
+		vo := t.RangeVO(lo, hi)
+		ans.Blocks = append(ans.Blocks, BlockVO{Bid: uint64(bid), Bytes: vo.Encode()})
+	}
+	return ans
+}
+
+// Digest is the auxiliary full node's side of phase two: it recomputes
+// the candidate set for the query at height h and hashes the visited
+// MB-roots, bound to their block ids, into a single digest (paper §VI:
+// "generates digest by hashing the concatenation of merkle roots of
+// second level index in blocks that the query needs to visit").
+func Digest(ali *ALI, height uint64, eligible *bitmap.Bitmap, lo, hi types.Value) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	for _, bid := range candidates(ali, height, eligible, lo, hi) {
+		root, ok := ali.Root(uint64(bid))
+		if !ok {
+			continue
+		}
+		binary.BigEndian.PutUint64(buf[:], uint64(bid))
+		h.Write(buf[:])
+		h.Write(root[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// VerifyAnswer is the thin client's check: it reconstructs every block
+// VO, rebuilding each MB-root, derives the digest the answer commits to
+// and returns it together with the decoded in-range transactions. The
+// caller compares the digest against the replies of sampled auxiliary
+// nodes; only if enough agree is the result trusted (Equation 6).
+func VerifyAnswer(ans *Answer, lo, hi types.Value) (digest [32]byte, txs []*types.Transaction, err error) {
+	h := sha256.New()
+	var buf [8]byte
+	var prevBid uint64
+	for i, bvo := range ans.Blocks {
+		if bvo.Bid >= ans.Height {
+			return digest, nil, fmt.Errorf("auth: block %d beyond snapshot height %d", bvo.Bid, ans.Height)
+		}
+		if i > 0 && bvo.Bid <= prevBid {
+			return digest, nil, fmt.Errorf("auth: block VOs out of order")
+		}
+		prevBid = bvo.Bid
+		vo, err := mbtree.DecodeVO(bvo.Bytes)
+		if err != nil {
+			return digest, nil, fmt.Errorf("auth: block %d: %w", bvo.Bid, err)
+		}
+		root, recs, err := mbtree.Reconstruct(vo, lo, hi)
+		if err != nil {
+			return digest, nil, fmt.Errorf("auth: block %d: %w", bvo.Bid, err)
+		}
+		binary.BigEndian.PutUint64(buf[:], bvo.Bid)
+		h.Write(buf[:])
+		h.Write(root[:])
+		for _, r := range recs {
+			tx, err := types.DecodeTransaction(types.NewDecoder(r.Payload))
+			if err != nil {
+				return digest, nil, fmt.Errorf("auth: block %d: %w", bvo.Bid, err)
+			}
+			txs = append(txs, tx)
+		}
+	}
+	h.Sum(digest[:0])
+	return digest, txs, nil
+}
+
+// BasicAnswer is the baseline the paper compares ALI against: the
+// server ships every eligible block in full.
+type BasicAnswer struct {
+	Height uint64
+	Blocks []*types.Block
+}
+
+// Size returns the baseline's "VO size": the bytes of all shipped
+// blocks.
+func (a *BasicAnswer) Size() int {
+	n := 8
+	for _, b := range a.Blocks {
+		n += len(b.EncodeBytes())
+	}
+	return n
+}
+
+// BasicVerify is the thin client's baseline check: for each shipped
+// block it recomputes the transaction Merkle root and compares it with
+// the trusted header (thin clients store all headers), then filters the
+// matching transactions itself.
+func BasicVerify(ans *BasicAnswer, headers []types.BlockHeader,
+	match func(*types.Transaction) bool) ([]*types.Transaction, error) {
+	var out []*types.Transaction
+	for _, b := range ans.Blocks {
+		if b.Header.Height >= uint64(len(headers)) {
+			return nil, fmt.Errorf("auth: block %d beyond known headers", b.Header.Height)
+		}
+		want := headers[b.Header.Height]
+		if b.Header.Hash() != want.Hash() {
+			return nil, fmt.Errorf("auth: block %d header mismatch", b.Header.Height)
+		}
+		if merkle.Root(types.TxLeaves(b.Txs)) != want.TransRoot {
+			return nil, fmt.Errorf("auth: block %d transaction root mismatch", b.Header.Height)
+		}
+		for _, tx := range b.Txs {
+			if match(tx) {
+				out = append(out, tx)
+			}
+		}
+	}
+	return out, nil
+}

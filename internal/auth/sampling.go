@@ -1,0 +1,82 @@
+package auth
+
+import "math"
+
+// This file implements the digest-sampling analysis of paper §VI,
+// Equations 4-6. A thin client sends the phase-two query to n auxiliary
+// nodes and waits until m identical digests arrive. With p the fraction
+// of Byzantine nodes, Equation 4 gives the probability p_w that the
+// first m identical digests are all from Byzantine nodes (a negative-
+// binomial race: the m-th Byzantine response arrives having seen i < m
+// honest ones), Equation 5 the symmetric probability p_r for honest
+// nodes, and Equation 6 the conditional probability θ that an accepted
+// digest is wrong. θ is 0 outright when m exceeds the maximum possible
+// number of Byzantine nodes — at least one of m identical digests then
+// came from an honest node.
+
+// binom returns C(n, k) as a float64; inputs stay small (n ≲ 200).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// WinProbability is Equation 4: the probability that m Byzantine
+// responses arrive before m honest ones when each response is Byzantine
+// with probability p.
+func WinProbability(p float64, m int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		sum += binom(m-1+i, i) * math.Pow(p, float64(m-1)) * math.Pow(1-p, float64(i))
+	}
+	return p * sum
+}
+
+// HonestProbability is Equation 5, the mirror image of Equation 4.
+func HonestProbability(p float64, m int) float64 {
+	return WinProbability(1-p, m)
+}
+
+// WrongDigestProbability is Equation 6: the probability θ that a digest
+// accepted after m identical replies out of n requests is wrong, with
+// at most max Byzantine nodes in the system. It returns 0 when m > max
+// (an honest node necessarily contributed) and 1 as a conservative
+// answer when the protocol's precondition m <= n does not hold.
+func WrongDigestProbability(p float64, n, m, max int) float64 {
+	if m > max {
+		return 0
+	}
+	if m <= 0 || m > n {
+		return 1
+	}
+	pw := WinProbability(p, m)
+	pr := HonestProbability(p, m)
+	if pw+pr == 0 {
+		return 0
+	}
+	return pw / (pw + pr)
+}
+
+// MinIdenticalFor returns the smallest m <= n with wrong-digest
+// probability below theta, or 0 when no m achieves it — the knob the
+// paper describes as "a user can adjust n and m to achieve different
+// credibilities".
+func MinIdenticalFor(p float64, n, max int, theta float64) int {
+	for m := 1; m <= n; m++ {
+		if WrongDigestProbability(p, n, m, max) < theta {
+			return m
+		}
+	}
+	return 0
+}

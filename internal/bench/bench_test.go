@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sebdb/internal/core"
+	"sebdb/internal/exec"
+)
+
+func TestResultPlacementUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := resultPlacement(GenConfig{Blocks: 10, ResultSize: 100, Dist: Uniform}, rng)
+	counts := make([]int, 10)
+	for _, b := range got {
+		if b < 0 || b >= 10 {
+			t.Fatalf("block %d out of range", b)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != 10 {
+			t.Errorf("block %d got %d results, want 10", b, c)
+		}
+	}
+}
+
+func TestResultPlacementGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := resultPlacement(GenConfig{Blocks: 100, ResultSize: 1000, Dist: Gaussian, Sigma: 10}, rng)
+	center, tails := 0, 0
+	for _, b := range got {
+		if b < 0 || b >= 100 {
+			t.Fatalf("block %d out of range", b)
+		}
+		if b >= 40 && b < 60 {
+			center++
+		}
+		if b < 20 || b >= 80 {
+			tails++
+		}
+	}
+	if center < tails*3 {
+		t.Errorf("gaussian not concentrated: center=%d tails=%d", center, tails)
+	}
+}
+
+func TestLoadTrackingCountsExact(t *testing.T) {
+	e, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cfg := GenConfig{Blocks: 10, TxPerBlock: 20, ResultSize: 50, Dist: Gaussian, Sigma: 3, Seed: 1}
+	if err := LoadTracking(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Q2(e, "org1", exec.MethodLayered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("Q2 = %d, want 50", n)
+	}
+	// All three methods agree.
+	for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap} {
+		if n2, _ := Q2(e, "org1", m); n2 != 50 {
+			t.Errorf("%v = %d", m, n2)
+		}
+	}
+}
+
+func TestLoadRangeAndJoinAndOnOff(t *testing.T) {
+	e, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := LoadRange(e, GenConfig{Blocks: 8, TxPerBlock: 25, ResultSize: 40, Dist: Uniform, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap, exec.MethodLayered} {
+		n, err := Q4(e, RangeLo, RangeHi, m)
+		if err != nil || n != 40 {
+			t.Errorf("Q4 %v = %d, %v", m, n, err)
+		}
+	}
+
+	e2, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if err := LoadJoin(e2, 8, 40, 100, 30, Gaussian, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap, exec.MethodLayered} {
+		n, err := Q5(e2, m)
+		if err != nil || n != 30 {
+			t.Errorf("Q5 %v = %d, %v", m, n, err)
+		}
+	}
+
+	e3, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if err := LoadOnOff(e3, 8, 40, 100, 25, Uniform, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap, exec.MethodLayered} {
+		n, err := Q6(e3, m)
+		if err != nil || n != 25 {
+			t.Errorf("Q6 %v = %d, %v", m, n, err)
+		}
+	}
+}
+
+func TestLoadTwoDimCounts(t *testing.T) {
+	e, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := LoadTwoDim(e, 10, 30, 20, 40, 40, Uniform, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Both-dimension result = nBoth.
+	n, err := Q3(e, "org1", "transfer", nil, true)
+	if err != nil || n != 20 {
+		t.Errorf("Q3 TI = %d, %v", n, err)
+	}
+	// Single-index path agrees.
+	n, err = Q3(e, "org1", "transfer", nil, false)
+	if err != nil || n != 20 {
+		t.Errorf("Q3 SI = %d, %v", n, err)
+	}
+	// org1's total = nBoth + org1Only.
+	n, err = Q2(e, "org1", exec.MethodLayered)
+	if err != nil || n != 60 {
+		t.Errorf("Q2 = %d, %v", n, err)
+	}
+}
+
+func TestQ7(t *testing.T) {
+	e, err := NewEngine(t.TempDir(), core.CacheNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := LoadTracking(e, GenConfig{Blocks: 5, TxPerBlock: 10, ResultSize: 10, Dist: Uniform, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Q7(e, 2); err != nil || n != 1 {
+		t.Errorf("Q7 = %d, %v", n, err)
+	}
+}
+
+// TestFiguresSmoke regenerates every figure at a tiny scale, checking
+// they complete and produce plausible tables.
+func TestFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, t.TempDir(), 0.01); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
+		"Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16", "Fig. 17", "Fig. 18",
+		"Fig. 19", "Fig. 20", "Fig. 21", "Fig. 22",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	t.Logf("figures output:\n%s", out)
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFigure(&buf, 99, t.TempDir(), 0.01); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	// Num is the paper's figure number.
+	Num int
+	// Run regenerates it: datasets under dir, sizes scaled by scale.
+	Run func(dir string, scale float64) (*Table, error)
+}
+
+// Figures lists every evaluation figure of the paper in order.
+var Figures = []Figure{
+	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
+	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
+	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
+	{22, Fig22},
+}
+
+// RunFigure regenerates one figure by number and prints its table.
+func RunFigure(w io.Writer, num int, dir string, scale float64) error {
+	for _, f := range Figures {
+		if f.Num == num {
+			t, err := f.Run(dir, scale)
+			if err != nil {
+				return fmt.Errorf("fig %d: %w", num, err)
+			}
+			t.Fprint(w)
+			return nil
+		}
+	}
+	return fmt.Errorf("bench: no figure %d (have 7..22)", num)
+}
+
+// RunAll regenerates every figure in order.
+func RunAll(w io.Writer, dir string, scale float64) error {
+	for _, f := range Figures {
+		if err := RunFigure(w, f.Num, dir, scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"sebdb/internal/core"
+	"sebdb/internal/exec"
+	"sebdb/internal/sqlparser"
+)
+
+// The Fig* functions regenerate the paper's evaluation figures as
+// tables. scale shrinks the paper-scale parameters (1.0 = paper-like
+// sizes, fit for a workstation; benches use ~0.05). Every function
+// loads its datasets under dir and returns a printable Table.
+
+// blockSizesFor returns the paper's 500..2500 block sweep, scaled.
+func blockSizesFor(scale float64) []int {
+	out := make([]int, 0, 5)
+	for _, b := range []int{500, 1000, 1500, 2000, 2500} {
+		out = append(out, scaled(b, scale, 10))
+	}
+	return out
+}
+
+// methodRuns are the SU/SG/BU/BG/LU/LG series of Figs. 8-16.
+var methodRuns = []struct {
+	m    exec.Method
+	dist Distribution
+}{
+	{exec.MethodScan, Uniform}, {exec.MethodScan, Gaussian},
+	{exec.MethodBitmap, Uniform}, {exec.MethodBitmap, Gaussian},
+	{exec.MethodLayered, Uniform}, {exec.MethodLayered, Gaussian},
+}
+
+func methodHeader(x string) []string {
+	return []string{x, "SU", "SG", "BU", "BG", "LU", "LG"}
+}
+
+// Fig8 — tracking (Q2) vs blockchain size; result fixed at 10,000.
+func Fig8(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 8 — Tracking (Q2) latency, varying blockchain size",
+		Header: methodHeader("blocks"),
+		Note:   "expect layered << bitmap << scan; Gaussian <= uniform for B/L",
+	}
+	result := scaled(10_000, scale, 60)
+	for _, blocks := range blockSizesFor(scale) {
+		row := []string{fmt.Sprintf("%d", blocks)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f8-%d-%s", blocks, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadTracking(e, GenConfig{
+					Blocks: blocks, TxPerBlock: 100, ResultSize: result,
+					Dist: run.dist, Sigma: 20, Seed: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q2(e, "org1", run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig8: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig9 — tracking (Q2) vs result size; 1,000 blocks, Gaussian σ=50.
+func Fig9(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 9 — Tracking (Q2) latency, varying result size",
+		Header: methodHeader("results"),
+		Note:   "method gap narrows as the result size grows",
+	}
+	blocks := scaled(1000, scale, 20)
+	for _, paperN := range []int{2_000, 10_000, 50_000, 250_000, 1_250_000} {
+		result := scaled(paperN, scale, 20)
+		if result > blocks*2000 {
+			result = blocks * 2000
+		}
+		txPerBlock := 100
+		if need := result/blocks + 1; need > txPerBlock {
+			txPerBlock = need
+		}
+		row := []string{fmt.Sprintf("%d", result)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f9-%d-%s", result, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadTracking(e, GenConfig{
+					Blocks: blocks, TxPerBlock: txPerBlock, ResultSize: result,
+					Dist: run.dist, Sigma: 50, Seed: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q2(e, "org1", run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig9: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig10 — two-dimension tracking (Q3) over shrinking time windows
+// TW1..TW5; SI (index on operator only) vs TI (both indexes).
+func Fig10(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 10 — Two-dimension tracking (Q3) latency over time windows",
+		Header: []string{"window", "SIU", "SIG", "TIU", "TIG"},
+		Note:   "TI below SI; all methods speed up as the window shrinks",
+	}
+	blocks := scaled(1000, scale, 40)
+	nBoth := scaled(1_000, scale, 20)
+	extra := scaled(9_000, scale, 40)
+	engines := map[Distribution]*core.Engine{}
+	for _, dist := range []Distribution{Uniform, Gaussian} {
+		e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f10-%s", dist)), core.CacheNone)
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		if e.Height() == 0 {
+			if err := LoadTwoDim(e, blocks, 40, nBoth, extra, extra, dist, 20, 1); err != nil {
+				return nil, err
+			}
+		}
+		engines[dist] = e
+	}
+	endTs := int64(blocks+1) * 1000
+	for i := 1; i <= 5; i++ {
+		startBlock := blocks - blocks/(1<<(i-1))
+		win := &sqlparser.Window{Start: int64(startBlock+1) * 1000, End: endTs}
+		if i == 1 {
+			win.Start = 0
+		}
+		row := []string{fmt.Sprintf("TW%d", i)}
+		for _, cfg := range []struct {
+			two  bool
+			dist Distribution
+		}{{false, Uniform}, {false, Gaussian}, {true, Uniform}, {true, Gaussian}} {
+			e := engines[cfg.dist]
+			_, d, err := Timed(func() (int, error) {
+				return Q3(e, "org1", "transfer", win, cfg.two)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig11 — range query (Q4) vs blockchain size; result fixed 1,000.
+func Fig11(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 11 — Range query (Q4) latency, varying blockchain size",
+		Header: methodHeader("blocks"),
+		Note:   "layered wins on the selective range; scan grows with chain size",
+	}
+	result := scaled(1_000, scale, 40)
+	for _, blocks := range blockSizesFor(scale) {
+		row := []string{fmt.Sprintf("%d", blocks)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f11-%d-%s", blocks, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadRange(e, GenConfig{
+					Blocks: blocks, TxPerBlock: 100, ResultSize: result,
+					Dist: run.dist, Sigma: 20, Seed: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else if err := e.CreateIndex("donate", "amount"); err != nil {
+				return nil, err
+			}
+			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig11: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig12 — range query (Q4) vs result size; 1,000 blocks.
+func Fig12(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 12 — Range query (Q4) latency, varying result size",
+		Header: methodHeader("results"),
+		Note:   "scan/bitmap insensitive to result size; layered grows with it",
+	}
+	blocks := scaled(1000, scale, 20)
+	for _, paperN := range []int{1_000, 2_500, 5_000, 7_500, 10_000} {
+		result := scaled(paperN, scale, 20)
+		row := []string{fmt.Sprintf("%d", result)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f12-%d-%s", result, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadRange(e, GenConfig{
+					Blocks: blocks, TxPerBlock: 100, ResultSize: result,
+					Dist: run.dist, Sigma: 20, Seed: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else if err := e.CreateIndex("donate", "amount"); err != nil {
+				return nil, err
+			}
+			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig12: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig13 — on-chain join (Q5) vs blockchain size; 10,000 rows per
+// table, 5,000 join results.
+func Fig13(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 13 — On-chain join (Q5) latency, varying blockchain size",
+		Header: methodHeader("blocks"),
+		Note:   "layered compares only intersecting block pairs; LU grows with block count",
+	}
+	perTable := scaled(10_000, scale, 100)
+	result := scaled(5_000, scale, 50)
+	for _, blocks := range blockSizesFor(scale) {
+		row := []string{fmt.Sprintf("%d", blocks)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f13-%d-%s", blocks, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadJoin(e, blocks, 100, perTable, result, run.dist, 20, 1)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				if err := e.CreateIndex("transfer", "organization"); err != nil {
+					return nil, err
+				}
+				if err := e.CreateIndex("distribute", "organization"); err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q5(e, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig13: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig14 — on-chain join (Q5) vs result size; 1,000 blocks.
+func Fig14(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 14 — On-chain join (Q5) latency, varying result size",
+		Header: methodHeader("results"),
+		Note:   "layered latency grows with result size as more block pairs join",
+	}
+	blocks := scaled(1000, scale, 20)
+	perTable := scaled(10_000, scale, 100)
+	for _, paperN := range []int{1_000, 2_500, 5_000, 7_500, 10_000} {
+		result := scaled(paperN, scale, 20)
+		if result > perTable {
+			result = perTable
+		}
+		row := []string{fmt.Sprintf("%d", result)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f14-%d-%s", result, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadJoin(e, blocks, 100, perTable, result, run.dist, 20, 1)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				if err := e.CreateIndex("transfer", "organization"); err != nil {
+					return nil, err
+				}
+				if err := e.CreateIndex("distribute", "organization"); err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q5(e, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig14: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig15 — on-off-chain join (Q6) vs blockchain size.
+func Fig15(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 15 — On-off-chain join (Q6) latency, varying blockchain size",
+		Header: methodHeader("blocks"),
+		Note:   "layered reads only blocks the off-chain side's range/values flag",
+	}
+	onChain := scaled(10_000, scale, 100)
+	result := scaled(5_000, scale, 50)
+	for _, blocks := range blockSizesFor(scale) {
+		row := []string{fmt.Sprintf("%d", blocks)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f15-%d-%s", blocks, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadOnOff(e, blocks, 100, onChain, result, run.dist, 20, 1)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				if err := SetupOffChain(e.OffChain(), result); err != nil {
+					return nil, err
+				}
+				if err := e.CreateIndex("distribute", "donee"); err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q6(e, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig15: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig16 — on-off-chain join (Q6) vs result size; 1,000 blocks.
+func Fig16(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 16 — On-off-chain join (Q6) latency, varying result size",
+		Header: methodHeader("results"),
+		Note:   "layered grows with result size; scan/bitmap dominated by block reads",
+	}
+	blocks := scaled(1000, scale, 20)
+	onChain := scaled(10_000, scale, 100)
+	for _, paperN := range []int{1_000, 2_500, 5_000, 7_500, 10_000} {
+		result := scaled(paperN, scale, 20)
+		if result > onChain {
+			result = onChain
+		}
+		row := []string{fmt.Sprintf("%d", result)}
+		for _, run := range methodRuns {
+			e, err := NewEngine(filepath.Join(dir, fmt.Sprintf("f16-%d-%s", result, run.dist)), core.CacheNone)
+			if err != nil {
+				return nil, err
+			}
+			if e.Height() == 0 {
+				err = LoadOnOff(e, blocks, 100, onChain, result, run.dist, 20, 1)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				if err := SetupOffChain(e.OffChain(), result); err != nil {
+					return nil, err
+				}
+				if err := e.CreateIndex("distribute", "donee"); err != nil {
+					return nil, err
+				}
+			}
+			n, d, err := Timed(func() (int, error) { return Q6(e, run.m) })
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if n != result {
+				return nil, fmt.Errorf("fig16: got %d results, want %d", n, result)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

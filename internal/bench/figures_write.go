@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sebdb/internal/consensus"
+	"sebdb/internal/consensus/kafka"
+	"sebdb/internal/consensus/pbft"
+	"sebdb/internal/core"
+)
+
+// Fig7 — write performance (Q1): throughput and mean response time
+// under the Kafka ordering service and the PBFT (Tendermint-style)
+// consensus, 4 servers, varying concurrent clients (paper: 40..400
+// clients, 100 transactions each, block 200 txs / 200 ms for Kafka,
+// 10,000 txs for Tendermint).
+func Fig7(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 7 — Write performance (Q1), Kafka vs PBFT(Tendermint-style), 4 servers",
+		Header: []string{"clients", "kafka tx/s", "kafka resp", "pbft tx/s", "pbft resp"},
+		Note:   "Kafka throughput >> PBFT; PBFT latency flat while underloaded, rising with clients",
+	}
+	txPerClient := scaled(100, scale, 5)
+	for _, paperClients := range []int{40, 120, 200, 280, 400} {
+		clients := scaled(paperClients, scale, 2)
+		row := []string{fmt.Sprintf("%d", clients)}
+		for _, proto := range []string{"kafka", "pbft"} {
+			engines := make([]*core.Engine, 4)
+			committers := make([]consensus.Committer, 4)
+			for i := range engines {
+				e, err := NewEngine(filepath.Join(dir,
+					fmt.Sprintf("f7-%s-%d-n%d", proto, clients, i)), core.CacheNone)
+				if err != nil {
+					return nil, err
+				}
+				if e.Height() == 0 {
+					if err := SetupSchema(e); err != nil {
+						return nil, err
+					}
+				}
+				engines[i] = e
+				committers[i] = e
+			}
+
+			var cons consensus.Consensus
+			switch proto {
+			case "kafka":
+				// Batch sizes scale with the client population so the
+				// saturation knee (paper: 200-tx blocks, ~240 clients)
+				// appears at any harness scale.
+				broker := kafka.New(kafka.Options{
+					BatchSize:    scaled(200, scale, 5),
+					BatchTimeout: 200 * time.Millisecond,
+				})
+				for _, c := range committers {
+					broker.Subscribe(c)
+				}
+				cons = broker
+			default:
+				cl, err := pbft.New(pbft.Options{
+					F: 1, BatchSize: scaled(10_000, scale, 50),
+					BatchTimeout: 200 * time.Millisecond,
+				}, committers)
+				if err != nil {
+					return nil, err
+				}
+				cons = cl
+			}
+			if err := cons.Start(); err != nil {
+				return nil, err
+			}
+
+			key := ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+			engines[0].RegisterKey("client", key)
+
+			var wg sync.WaitGroup
+			var latMu sync.Mutex
+			var totalLatency time.Duration
+			completed := 0
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c)))
+					for i := 0; i < txPerClient; i++ {
+						tx, err := Q1Tx(engines[0], rng, "client")
+						if err != nil {
+							return
+						}
+						t0 := time.Now()
+						if err := cons.Submit(tx); err != nil {
+							return
+						}
+						latMu.Lock()
+						totalLatency += time.Since(t0)
+						completed++
+						latMu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			cons.Stop()
+			for _, e := range engines {
+				e.Close()
+			}
+			if completed == 0 {
+				return nil, fmt.Errorf("fig7: no transactions completed under %s", proto)
+			}
+			tput := float64(completed) / elapsed.Seconds()
+			meanResp := totalLatency / time.Duration(completed)
+			row = append(row, fmt.Sprintf("%.0f", tput), ms(meanResp))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sebdb/internal/core"
+	"sebdb/internal/types"
+)
+
+// The loaders in this file build the datasets of §VII: each experiment
+// fixes a chain size, a result size and a distribution of the resulting
+// transactions over blocks.
+
+// mkDonate builds a donate transaction; result rows carry org1 as
+// sender (the tracking target), fillers rotate through other senders.
+func mkDonate(spec TxSpec, rng *rand.Rand, resultAmount func() float64, fillerAmount func() float64) *types.Transaction {
+	sender := "org1"
+	amount := resultAmount()
+	if !spec.Result {
+		sender = fmt.Sprintf("org%d", 2+rng.Intn(20))
+		amount = fillerAmount()
+	}
+	return &types.Transaction{
+		SenID: sender,
+		Tname: "donate",
+		Args: []types.Value{
+			types.Str(fmt.Sprintf("donor%06d", rng.Intn(1_000_000))),
+			types.Str("education"),
+			types.Dec(amount),
+		},
+	}
+}
+
+// LoadTracking builds the Q2 dataset: ResultSize transactions sent by
+// org1, spread by the distribution; fillers from other senders.
+func LoadTracking(e *core.Engine, cfg GenConfig) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	return Load(e, cfg, func(spec TxSpec, rng *rand.Rand) *types.Transaction {
+		return mkDonate(spec, rng,
+			func() float64 { return float64(rng.Intn(10_000)) },
+			func() float64 { return float64(rng.Intn(10_000)) })
+	})
+}
+
+// LoadAuth builds the Figs. 17-19 dataset: result transactions are
+// sent by org1 AND carry amounts inside the Q4 window, so one chain
+// serves both the authenticated tracking (Q2) and the authenticated
+// range query (Q4); fillers come from other senders with amounts below
+// the window.
+func LoadAuth(e *core.Engine, cfg GenConfig) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	return Load(e, cfg, func(spec TxSpec, rng *rand.Rand) *types.Transaction {
+		return mkDonate(spec, rng,
+			func() float64 { return float64(RangeLo + rng.Intn(RangeHi-RangeLo+1)) },
+			func() float64 { return float64(rng.Intn(RangeLo - 1)) })
+	})
+}
+
+// RangeLo and RangeHi bound the Q4 result window: result transactions
+// draw amounts inside it, fillers strictly below.
+const (
+	RangeLo = 1_000_000
+	RangeHi = 1_000_999
+)
+
+// LoadRange builds the Q4 dataset and the layered index on
+// donate.amount.
+func LoadRange(e *core.Engine, cfg GenConfig) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	err := Load(e, cfg, func(spec TxSpec, rng *rand.Rand) *types.Transaction {
+		return mkDonate(spec, rng,
+			func() float64 { return float64(RangeLo + rng.Intn(RangeHi-RangeLo+1)) },
+			func() float64 { return float64(rng.Intn(RangeLo - 1)) })
+	})
+	if err != nil {
+		return err
+	}
+	return e.CreateIndex("donate", "amount")
+}
+
+// LoadTwoDim builds the Q3/Fig. 21 dataset: nBoth transactions that are
+// both org1 and transfer (the answer), org1Only extra org1 donates,
+// transferOnly extra transfers from other senders, spread by dist, and
+// fillers to reach txPerBlock.
+func LoadTwoDim(e *core.Engine, blocks, txPerBlock, nBoth, org1Only, transferOnly int,
+	dist Distribution, sigma float64, seed int64) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perBlock := make([][]*types.Transaction, blocks)
+	add := func(n int, mk func(i int) *types.Transaction) {
+		for i, b := range Placement(n, blocks, dist, sigma, rng) {
+			perBlock[b] = append(perBlock[b], mk(i))
+		}
+	}
+	transferArgs := func(i int) []types.Value {
+		return []types.Value{
+			types.Str("education"),
+			types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("school%d", i%100)),
+			types.Dec(float64(i)),
+		}
+	}
+	donateArgs := func(i int) []types.Value {
+		return []types.Value{
+			types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str("education"),
+			types.Dec(float64(i)),
+		}
+	}
+	add(nBoth, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org1", Tname: "transfer", Args: transferArgs(i)}
+	})
+	add(org1Only, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org1", Tname: "donate", Args: donateArgs(i)}
+	})
+	add(transferOnly, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: fmt.Sprintf("org%d", 2+i%20), Tname: "transfer", Args: transferArgs(i)}
+	})
+	for b := 0; b < blocks; b++ {
+		for len(perBlock[b]) < txPerBlock {
+			i := rng.Intn(1_000_000)
+			perBlock[b] = append(perBlock[b], &types.Transaction{
+				SenID: fmt.Sprintf("org%d", 30+i%20), Tname: "donate", Args: donateArgs(i)})
+		}
+	}
+	return CommitChain(e, perBlock)
+}
+
+// LoadJoin builds the Q5 dataset: nPerTable transfer and distribute
+// transactions each; resultSize matching organization pairs (1:1), the
+// rest with side-unique organizations so they never join. Creates the
+// layered indexes on both join columns.
+func LoadJoin(e *core.Engine, blocks, txPerBlock, nPerTable, resultSize int,
+	dist Distribution, sigma float64, seed int64) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perBlock := make([][]*types.Transaction, blocks)
+	add := func(n int, mk func(i int) *types.Transaction) {
+		for i, b := range Placement(n, blocks, dist, sigma, rng) {
+			perBlock[b] = append(perBlock[b], mk(i))
+		}
+	}
+	// Matching pairs share org "shared%06d".
+	add(resultSize, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org1", Tname: "transfer", Args: []types.Value{
+			types.Str("education"), types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("shared%06d", i)), types.Dec(float64(i)),
+		}}
+	})
+	add(resultSize, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org2", Tname: "distribute", Args: []types.Value{
+			types.Str("education"), types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("shared%06d", i)),
+			types.Str(fmt.Sprintf("donee%06d", i)), types.Dec(float64(i)),
+		}}
+	})
+	// Non-matching remainder.
+	add(nPerTable-resultSize, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org1", Tname: "transfer", Args: []types.Value{
+			types.Str("education"), types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("tonly%06d", i)), types.Dec(float64(i)),
+		}}
+	})
+	add(nPerTable-resultSize, func(i int) *types.Transaction {
+		return &types.Transaction{SenID: "org2", Tname: "distribute", Args: []types.Value{
+			types.Str("education"), types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("donly%06d", i)),
+			types.Str(fmt.Sprintf("donee%06d", i)), types.Dec(float64(i)),
+		}}
+	})
+	for b := 0; b < blocks; b++ {
+		for len(perBlock[b]) < txPerBlock {
+			i := rng.Intn(1_000_000)
+			perBlock[b] = append(perBlock[b], &types.Transaction{
+				SenID: "org9", Tname: "donate", Args: []types.Value{
+					types.Str(fmt.Sprintf("donor%06d", i)), types.Str("education"), types.Dec(float64(i)),
+				}})
+		}
+	}
+	if err := CommitChain(e, perBlock); err != nil {
+		return err
+	}
+	if err := e.CreateIndex("transfer", "organization"); err != nil {
+		return err
+	}
+	return e.CreateIndex("distribute", "organization")
+}
+
+// LoadOnOff builds the Q6 dataset: nOnChain distribute transactions of
+// which resultSize reference donees existing in the off-chain doneeinfo
+// table; the rest reference ghosts. Creates the layered index on
+// distribute.donee and loads the off-chain tables.
+func LoadOnOff(e *core.Engine, blocks, txPerBlock, nOnChain, resultSize int,
+	dist Distribution, sigma float64, seed int64) error {
+	if err := SetupSchema(e); err != nil {
+		return err
+	}
+	if err := SetupOffChain(e.OffChain(), resultSize); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perBlock := make([][]*types.Transaction, blocks)
+	add := func(n int, mk func(i int) *types.Transaction) {
+		for i, b := range Placement(n, blocks, dist, sigma, rng) {
+			perBlock[b] = append(perBlock[b], mk(i))
+		}
+	}
+	distributeTx := func(donee string, i int) *types.Transaction {
+		return &types.Transaction{SenID: "org2", Tname: "distribute", Args: []types.Value{
+			types.Str("education"), types.Str(fmt.Sprintf("donor%06d", i)),
+			types.Str(fmt.Sprintf("school%d", i%100)),
+			types.Str(donee), types.Dec(float64(i)),
+		}}
+	}
+	add(resultSize, func(i int) *types.Transaction {
+		return distributeTx(fmt.Sprintf("donee%06d", i), i)
+	})
+	add(nOnChain-resultSize, func(i int) *types.Transaction {
+		return distributeTx(fmt.Sprintf("ghost%06d", i), i)
+	})
+	for b := 0; b < blocks; b++ {
+		for len(perBlock[b]) < txPerBlock {
+			i := rng.Intn(1_000_000)
+			perBlock[b] = append(perBlock[b], &types.Transaction{
+				SenID: "org9", Tname: "donate", Args: []types.Value{
+					types.Str(fmt.Sprintf("donor%06d", i)), types.Str("education"), types.Dec(float64(i)),
+				}})
+		}
+	}
+	if err := CommitChain(e, perBlock); err != nil {
+		return err
+	}
+	return e.CreateIndex("distribute", "donee")
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a printable benchmark result: one row per x-axis point, one
+// column per series, mirroring the paper's figures.
+type Table struct {
+	// Title identifies the experiment, e.g. "Fig. 8 — Tracking, varying
+	// blockchain size".
+	Title string
+	// Header names the columns; Header[0] is the x-axis label.
+	Header []string
+	// Rows hold the cells, already formatted.
+	Rows [][]string
+	// Note carries the expected shape, printed under the table.
+	Note string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+}
+
+// ms formats a duration in milliseconds with sensible precision.
+func ms(d time.Duration) string {
+	v := float64(d.Microseconds()) / 1000
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0fms", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2fms", v)
+	default:
+		return fmt.Sprintf("%.3fms", v)
+	}
+}
+
+// kb formats a byte count.
+func kb(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// scaled multiplies a paper-scale quantity by the harness scale,
+// keeping at least min.
+func scaled(paper int, scale float64, min int) int {
+	v := int(float64(paper) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}

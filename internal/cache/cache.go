@@ -1,0 +1,107 @@
+// Package cache implements the LRU caches SEBDB interposes between the
+// query engine and the block files. The paper (§IV-A, §VII-H) compares
+// two policies: a block cache holding recently read blocks, and a
+// transaction cache holding recently read transactions ("the cache unit
+// is a transaction type"), the latter winning for index-driven queries.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a byte-bounded least-recently-used cache. It is safe for
+// concurrent use.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type entry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// NewLRU returns an LRU bounded to capBytes of cached value sizes.
+func NewLRU(capBytes int64) *LRU {
+	return &LRU{cap: capBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key and promotes it.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key with the given value and accounted size,
+// evicting least-recently-used entries to stay within capacity. Values
+// larger than the whole cache are not admitted.
+func (c *LRU) Put(key string, val any, size int64) {
+	if size > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.used += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, size: size})
+		c.used += size
+	}
+	for c.used > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		delete(c.items, e.key)
+		c.ll.Remove(back)
+		c.used -= e.size
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Used returns the accounted bytes currently cached.
+func (c *LRU) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops all entries and statistics.
+func (c *LRU) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = list.New()
+	c.items = make(map[string]*list.Element)
+	c.used, c.hits, c.misses = 0, 0, 0
+}

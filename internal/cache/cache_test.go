@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := NewLRU(100)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", 1, 10)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	c := NewLRU(30)
+	c.Put("a", "A", 10)
+	c.Put("b", "B", 10)
+	c.Put("c", "C", 10)
+	c.Get("a")          // promote a
+	c.Put("d", "D", 10) // must evict b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be cached", k)
+		}
+	}
+	if c.Used() != 30 {
+		t.Errorf("Used = %d", c.Used())
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := NewLRU(50)
+	c.Put("a", 1, 10)
+	c.Put("a", 2, 30)
+	if c.Len() != 1 || c.Used() != 30 {
+		t.Errorf("Len=%d Used=%d", c.Len(), c.Used())
+	}
+	v, _ := c.Get("a")
+	if v.(int) != 2 {
+		t.Errorf("value not updated: %v", v)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("big", 1, 100)
+	if c.Len() != 0 {
+		t.Error("oversized value admitted")
+	}
+	c.Put("ok", 1, 10)
+	if c.Len() != 1 {
+		t.Error("exact-fit value rejected")
+	}
+}
+
+func TestEvictionCascade(t *testing.T) {
+	c := NewLRU(100)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10)
+	}
+	c.Put("huge", 0, 95) // must evict nearly everything
+	if c.Used() > 100 {
+		t.Errorf("Used = %d exceeds cap", c.Used())
+	}
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", 1, 10)
+	c.Get("a")
+	c.Get("b")
+	c.Reset()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("reset did not clear entries")
+	}
+	h, m := c.Stats()
+	if h != 0 || m != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%50)
+				c.Put(k, i, 10)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1000 {
+		t.Errorf("Used = %d exceeds cap after concurrent load", c.Used())
+	}
+}

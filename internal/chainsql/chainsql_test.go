@@ -1,0 +1,117 @@
+package chainsql
+
+import (
+	"fmt"
+	"testing"
+
+	"sebdb/internal/types"
+)
+
+func seeded(t testing.TB, blocks, txPerBlock int) *Node {
+	t.Helper()
+	n, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := uint64(1)
+	var prev *types.BlockHeader
+	for b := 0; b < blocks; b++ {
+		var txs []*types.Transaction
+		for i := 0; i < txPerBlock; i++ {
+			name := "donate"
+			if tid%2 == 0 {
+				name = "transfer"
+			}
+			txs = append(txs, &types.Transaction{
+				Tid: tid, Ts: int64(b+1) * 1000,
+				SenID: fmt.Sprintf("org%d", tid%3),
+				Tname: name,
+				Args:  []types.Value{types.Dec(float64(tid))},
+			})
+			tid++
+		}
+		blk := types.NewBlock(prev, txs, int64(b+1)*1000, "n")
+		prev = &blk.Header
+		if err := n.ApplyBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestReplication(t *testing.T) {
+	n := seeded(t, 5, 6)
+	if n.Count() != 30 {
+		t.Errorf("Count = %d", n.Count())
+	}
+}
+
+func TestTrackOneDim(t *testing.T) {
+	n := seeded(t, 5, 6)
+	txs, err := n.TrackOneDim("org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 10 {
+		t.Errorf("org1 txs = %d", len(txs))
+	}
+	for _, tx := range txs {
+		if tx.SenID != "org1" {
+			t.Errorf("wrong sender %s", tx.SenID)
+		}
+	}
+	// Unknown account: empty, no error.
+	txs, err = n.TrackOneDim("ghost")
+	if err != nil || len(txs) != 0 {
+		t.Errorf("ghost: %d, %v", len(txs), err)
+	}
+}
+
+func TestTrackTwoDimClientFilters(t *testing.T) {
+	n := seeded(t, 5, 6)
+	got, transferred, err := n.TrackTwoDimClient("org1", "transfer", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range got {
+		if tx.SenID != "org1" || tx.Tname != "transfer" {
+			t.Errorf("bad row %s/%s", tx.SenID, tx.Tname)
+		}
+	}
+	// The wire carries ALL org1 transactions, not just the matches —
+	// the defining inefficiency of Fig. 21.
+	all, _ := n.TrackOneDim("org1")
+	if len(got) >= len(all) {
+		t.Errorf("filter removed nothing: %d of %d", len(got), len(all))
+	}
+	expected := 0
+	for _, tx := range all {
+		expected += tx.Size()
+	}
+	if transferred != expected {
+		t.Errorf("transferred %d bytes, want %d (everything)", transferred, expected)
+	}
+	// Window filtering happens client-side too.
+	w, _, err := n.TrackTwoDimClient("org1", "transfer", 2000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range w {
+		if tx.Ts < 2000 || tx.Ts > 3000 {
+			t.Errorf("tx outside window: %d", tx.Ts)
+		}
+	}
+	if len(w) == 0 || len(w) >= len(got) {
+		t.Errorf("windowed = %d of %d", len(w), len(got))
+	}
+}
+
+func TestTransferGrowsWithAccountSize(t *testing.T) {
+	small := seeded(t, 2, 6)
+	big := seeded(t, 20, 6)
+	_, tSmall, _ := small.TrackTwoDimClient("org1", "transfer", 0, 0)
+	_, tBig, _ := big.TrackTwoDimClient("org1", "transfer", 0, 0)
+	if tBig <= tSmall {
+		t.Errorf("transfer bytes did not grow: %d vs %d", tSmall, tBig)
+	}
+}

@@ -1,0 +1,29 @@
+// Package consensus defines SEBDB's pluggable consensus abstraction
+// (paper §III-B: "SEBDB uses plug-in pattern, allowing users to select
+// different consensus protocol according to their requirements.
+// Currently, we support KAFKA and PBFT"). A consensus component orders
+// submitted transactions into batches and delivers each batch exactly
+// once, in the same order, to every participating node's committer.
+package consensus
+
+import (
+	"sebdb/internal/types"
+)
+
+// Committer applies one decided batch as the next block. core.Engine
+// satisfies this interface.
+type Committer interface {
+	CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error)
+}
+
+// Consensus is the pluggable ordering component.
+type Consensus interface {
+	// Submit hands a transaction to the ordering service. It blocks
+	// until the transaction has been committed (the client-visible
+	// response of the write path) or the service stops.
+	Submit(tx *types.Transaction) error
+	// Start launches the component's background processing.
+	Start() error
+	// Stop shuts the component down, draining in-flight batches.
+	Stop() error
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"sebdb/internal/auth"
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/blockindex"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/schema"
+	"sebdb/internal/types"
+)
+
+// The methods in this file implement exec.Chain: the read surface the
+// query operators run against, with the configured cache policy
+// interposed between them and the block files.
+
+// NumBlocks returns the chain height.
+func (e *Engine) NumBlocks() int { return e.store.Count() }
+
+// Block reads a block, serving and populating the block cache when the
+// engine runs in CacheBlocks mode.
+func (e *Engine) Block(bid uint64) (*types.Block, error) {
+	key := fmt.Sprintf("b:%d", bid)
+	if e.blockCache != nil {
+		if v, ok := e.blockCache.Get(key); ok {
+			return v.(*types.Block), nil
+		}
+	}
+	b, err := e.store.Block(bid)
+	if err != nil {
+		return nil, err
+	}
+	if e.blockCache != nil {
+		e.blockCache.Put(key, b, int64(len(b.EncodeBytes())))
+	}
+	return b, nil
+}
+
+// Tx reads one transaction by (block, position). In CacheTxs mode the
+// individual transaction is cached — the paper's transaction cache,
+// which §VII-H shows beating the block cache for index-driven queries.
+func (e *Engine) Tx(bid uint64, pos uint32) (*types.Transaction, error) {
+	key := fmt.Sprintf("t:%d:%d", bid, pos)
+	if e.txCache != nil {
+		if v, ok := e.txCache.Get(key); ok {
+			return v.(*types.Transaction), nil
+		}
+	}
+	var tx *types.Transaction
+	if e.blockCache != nil {
+		// Block-cache policy: whole blocks are the cache unit, so route
+		// the read through them.
+		b, err := e.Block(bid)
+		if err != nil {
+			return nil, err
+		}
+		if pos >= uint32(len(b.Txs)) {
+			return nil, fmt.Errorf("core: block %d has no tx at %d", bid, pos)
+		}
+		tx = b.Txs[pos]
+	} else {
+		// Tuple-sized random read (Equation 3's p*(t_S+t_T) access).
+		var err error
+		tx, err = e.store.ReadTx(bid, pos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if e.txCache != nil {
+		e.txCache.Put(key, tx, int64(tx.Size()))
+	}
+	return tx, nil
+}
+
+// BlockIdx returns the block-level index.
+func (e *Engine) BlockIdx() *blockindex.Index { return e.blockIdx }
+
+// TableBlocks returns the table-level bitmap for a table name or a
+// "senid:<id>" key.
+func (e *Engine) TableBlocks(name string) *bitmap.Bitmap {
+	return e.tableIdx.Blocks(name)
+}
+
+// Layered returns the layered index on table.col (or the global system
+// index for table == ""), or nil when absent.
+func (e *Engine) Layered(table, col string) *layered.Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lidx[table+"."+col]
+}
+
+// Table resolves a table schema.
+func (e *Engine) Table(name string) (*schema.Table, error) {
+	return e.catalog.Lookup(name)
+}
+
+// CacheStats reports the active cache's cumulative hits and misses.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	switch {
+	case e.blockCache != nil:
+		return e.blockCache.Stats()
+	case e.txCache != nil:
+		return e.txCache.Stats()
+	}
+	return 0, 0
+}
+
+// sampleColumn collects up to limit values of table.col from the chain
+// for histogram construction (§IV-B: "created by sampling historical
+// transactions during index creating").
+func (e *Engine) sampleColumn(spec indexSpec, limit int) ([]float64, error) {
+	var out []float64
+	for bid := 0; bid < e.store.Count() && len(out) < limit; bid++ {
+		b, err := e.Block(uint64(bid))
+		if err != nil {
+			return nil, err
+		}
+		for _, tx := range b.Txs {
+			v, ok, err := e.valueFor(spec, tx)
+			if err != nil {
+				return nil, err
+			}
+			if ok && v.Numeric() {
+				out = append(out, v.Float())
+				if len(out) >= limit {
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CreateIndex creates a layered index on table.col, backfilling it over
+// every existing block. Continuous (numeric) columns get an equal-depth
+// histogram first level; discrete columns a per-value bitmap. It is a
+// no-op if the index already exists.
+func (e *Engine) CreateIndex(table, col string) error {
+	tbl, err := e.catalog.Lookup(table)
+	if err != nil {
+		return err
+	}
+	kind, _, err := tbl.ColumnKind(col)
+	if err != nil {
+		return err
+	}
+	spec := indexSpec{table: tbl.Name, col: col}
+	e.mu.RLock()
+	_, exists := e.lidx[spec.key()]
+	e.mu.RUnlock()
+	if exists {
+		return nil
+	}
+
+	var idx *layered.Index
+	if kind == types.KindInt || kind == types.KindDecimal || kind == types.KindTimestamp {
+		sample, err := e.sampleColumn(spec, 100_000)
+		if err != nil {
+			return err
+		}
+		idx = layered.NewContinuous(col, layered.NewEqualDepth(sample, e.cfg.HistogramDepth))
+	} else {
+		idx = layered.NewDiscrete(col)
+	}
+	if err := e.backfillLayered(spec, idx); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.lidx[spec.key()] = idx
+	e.mu.Unlock()
+	return e.saveIndexMeta()
+}
+
+func (e *Engine) backfillLayered(spec indexSpec, idx *layered.Index) error {
+	for bid := 0; bid < e.store.Count(); bid++ {
+		b, err := e.Block(uint64(bid))
+		if err != nil {
+			return err
+		}
+		entries, err := e.entriesFor(spec.key(), b)
+		if err != nil {
+			return err
+		}
+		idx.AppendBlock(uint64(bid), entries)
+	}
+	return nil
+}
+
+// CreateAuthIndex creates an ALI on table.col ("" table addresses the
+// system columns, e.g. CreateAuthIndex("", "tname") for authenticated
+// tracking), backfilled over the existing chain.
+func (e *Engine) CreateAuthIndex(table, col string) error {
+	spec := indexSpec{table: table, col: col}
+	if table != "" {
+		tbl, err := e.catalog.Lookup(table)
+		if err != nil {
+			return err
+		}
+		if _, _, err := tbl.ColumnKind(col); err != nil {
+			return err
+		}
+		spec.table = tbl.Name
+	} else if _, err := types.SystemColumnKind(col); err != nil {
+		return err
+	}
+	e.mu.RLock()
+	_, exists := e.alis[spec.key()]
+	e.mu.RUnlock()
+	if exists {
+		return nil
+	}
+
+	var ali *auth.ALI
+	kind := types.KindString
+	if table != "" {
+		tbl, _ := e.catalog.Lookup(table)
+		kind, _, _ = tbl.ColumnKind(col)
+	}
+	if kind == types.KindInt || kind == types.KindDecimal || kind == types.KindTimestamp {
+		sample, err := e.sampleColumn(spec, 100_000)
+		if err != nil {
+			return err
+		}
+		ali = auth.NewContinuous(col,
+			layered.NewEqualDepth(sample, e.cfg.HistogramDepth), e.cfg.MBTreeFanout)
+	} else {
+		ali = auth.NewDiscrete(col, e.cfg.MBTreeFanout)
+	}
+	for bid := 0; bid < e.store.Count(); bid++ {
+		b, err := e.Block(uint64(bid))
+		if err != nil {
+			return err
+		}
+		recs, err := e.recordsFor(spec.key(), b)
+		if err != nil {
+			return err
+		}
+		ali.AppendBlock(uint64(bid), recs)
+	}
+	e.mu.Lock()
+	e.alis[spec.key()] = ali
+	e.mu.Unlock()
+	return e.saveIndexMeta()
+}
+
+// AuthIndex returns the ALI on table.col, or nil.
+func (e *Engine) AuthIndex(table, col string) *auth.ALI {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.alis[table+"."+col]
+}

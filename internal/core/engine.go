@@ -1,0 +1,435 @@
+// Package core implements the SEBDB engine — the paper's primary
+// contribution: a blockchain whose transactions are relational tuples,
+// queried through a SQL-like language, stored once in append-only block
+// files, and accelerated by the block-level, table-level and layered
+// indexes of §IV-B. The engine is the per-node database; consensus
+// (internal/consensus) decides the order of transactions and calls
+// CommitBlock, while standalone users can let the engine package blocks
+// itself via Submit/Flush.
+package core
+
+import (
+	"crypto/ed25519"
+	"sync"
+	"time"
+
+	"sebdb/internal/accessctl"
+	"sebdb/internal/auth"
+	"sebdb/internal/cache"
+	"sebdb/internal/contract"
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/blockindex"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/mbtree"
+	"sebdb/internal/rdbms"
+	"sebdb/internal/schema"
+	"sebdb/internal/storage"
+	"sebdb/internal/types"
+)
+
+// CacheMode selects which derived cache the engine maintains (§VII-H).
+type CacheMode int
+
+const (
+	// CacheNone disables caching; every read hits the block files.
+	CacheNone CacheMode = iota
+	// CacheBlocks caches recently read whole blocks.
+	CacheBlocks
+	// CacheTxs caches recently read individual transactions.
+	CacheTxs
+)
+
+// Config configures an engine instance.
+type Config struct {
+	// Dir is the storage directory for block segment files.
+	Dir string
+	// SegmentSize overrides the 256 MB default block-file size.
+	SegmentSize int64
+	// BlockMaxTxs caps the number of transactions packaged per block.
+	// Zero means 200 (the paper's write-benchmark setting).
+	BlockMaxTxs int
+	// CacheMode selects the cache policy; CacheBytes its capacity
+	// (default 2 GB, the paper's §VII-H setting).
+	CacheMode  CacheMode
+	CacheBytes int64
+	// HistogramDepth is the first-level equal-depth histogram height for
+	// continuous layered indexes (default 100, §VII-D).
+	HistogramDepth int
+	// MBTreeFanout is the ALI page fanout (default mbtree.DefaultFanout).
+	MBTreeFanout int
+	// Signer names this node as block packager; Key signs headers.
+	Signer string
+	Key    ed25519.PrivateKey
+	// DefaultSender is the SenID used by Execute when no session sender
+	// is given.
+	DefaultSender string
+}
+
+func (c *Config) fill() {
+	if c.BlockMaxTxs == 0 {
+		c.BlockMaxTxs = 200
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 2 << 30
+	}
+	if c.HistogramDepth == 0 {
+		c.HistogramDepth = 100
+	}
+	if c.Signer == "" {
+		c.Signer = "node0"
+	}
+	if c.Key == nil {
+		c.Key = ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+	}
+	if c.DefaultSender == "" {
+		c.DefaultSender = c.Signer
+	}
+}
+
+// indexSpec remembers a user-created layered index so it can be
+// maintained on append.
+type indexSpec struct {
+	table string // "" for the global system indexes
+	col   string
+}
+
+func (s indexSpec) key() string { return s.table + "." + s.col }
+
+// Engine is one node's SEBDB instance.
+type Engine struct {
+	cfg     Config
+	store   *storage.Store
+	catalog *schema.Catalog
+	offDB   *rdbms.DB
+
+	mu       sync.RWMutex // guards indexes and the write path
+	blockIdx *blockindex.Index
+	tableIdx *bitmap.TableIndex // keys: table names and "senid:<id>"
+	lidx     map[string]*layered.Index
+	alis     map[string]*auth.ALI
+	lastTid  uint64
+	lastTs   int64
+
+	mempool   []*types.Transaction
+	keys      map[string]ed25519.PrivateKey
+	acl       *accessctl.Controller
+	contracts *contract.Registry
+
+	blockCache *cache.LRU
+	txCache    *cache.LRU
+}
+
+// Open opens (creating if needed) an engine over cfg.Dir and rebuilds
+// catalog and system indexes by replaying the chain.
+func Open(cfg Config) (*Engine, error) {
+	cfg.fill()
+	st, err := storage.Open(cfg.Dir, storage.Options{SegmentSize: cfg.SegmentSize})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		store:     st,
+		catalog:   schema.NewCatalog(),
+		offDB:     rdbms.New(),
+		blockIdx:  blockindex.New(),
+		tableIdx:  bitmap.NewTableIndex(),
+		lidx:      make(map[string]*layered.Index),
+		alis:      make(map[string]*auth.ALI),
+		keys:      make(map[string]ed25519.PrivateKey),
+		acl:       accessctl.New(),
+		contracts: contract.NewRegistry(),
+	}
+	switch cfg.CacheMode {
+	case CacheBlocks:
+		e.blockCache = cache.NewLRU(cfg.CacheBytes)
+	case CacheTxs:
+		e.txCache = cache.NewLRU(cfg.CacheBytes)
+	}
+	// The global track-trace indexes on the system columns are always
+	// present (§V-A: "the layered indices on column SenID and Tname are
+	// pre-created ... on all tables for all historical transactions").
+	e.lidx[".senid"] = layered.NewDiscrete("senid")
+	e.lidx[".tname"] = layered.NewDiscrete("tname")
+
+	// Replay existing blocks: catalog, indexes and counters.
+	for bid := 0; bid < st.Count(); bid++ {
+		b, err := st.Block(uint64(bid))
+		if err != nil {
+			return nil, err
+		}
+		if err := e.indexBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	// Replay persisted user index definitions (the index contents are
+	// rebuilt from the chain).
+	if err := e.loadIndexMeta(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Close releases the engine's resources.
+func (e *Engine) Close() error { return e.store.Close() }
+
+// OffChain returns the node-local off-chain RDBMS.
+func (e *Engine) OffChain() *rdbms.DB { return e.offDB }
+
+// AccessControl returns the node's channel/permission configuration
+// (paper §III-B's application-layer access control). A fresh engine
+// permits everything (all tables in the public channel).
+func (e *Engine) AccessControl() *accessctl.Controller { return e.acl }
+
+// Catalog returns the schema catalog.
+func (e *Engine) Catalog() *schema.Catalog { return e.catalog }
+
+// Height returns the chain height (number of blocks).
+func (e *Engine) Height() uint64 { return uint64(e.store.Count()) }
+
+// Headers returns all block headers (what a thin client syncs).
+func (e *Engine) Headers() []types.BlockHeader { return e.store.Headers() }
+
+// nowMicro returns the current time in Unix microseconds.
+func (e *Engine) nowMicro() int64 { return time.Now().UnixMicro() }
+
+// RegisterKey associates a sender identity with a signing key; Submit
+// and Execute sign transactions from that sender.
+func (e *Engine) RegisterKey(sender string, key ed25519.PrivateKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.keys[sender] = key
+}
+
+// NewTransaction builds (and signs, when the sender has a registered
+// key) a transaction for the given table, validating the args against
+// the schema. The Tid is assigned at commit time.
+func (e *Engine) NewTransaction(sender, tname string, args []types.Value) (*types.Transaction, error) {
+	tbl, err := e.catalog.Lookup(tname)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := tbl.ValidateArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	tx := &types.Transaction{
+		Ts:    time.Now().UnixMicro(),
+		SenID: sender,
+		Tname: tbl.Name,
+		Args:  vals,
+	}
+	e.mu.RLock()
+	key, ok := e.keys[sender]
+	e.mu.RUnlock()
+	if ok {
+		tx.Sign(key)
+	}
+	return tx, nil
+}
+
+// Submit appends a transaction to the standalone mempool, packaging a
+// block when BlockMaxTxs accumulate. Consensus-driven deployments skip
+// Submit and deliver ordered batches through CommitBlock instead.
+func (e *Engine) Submit(tx *types.Transaction) error {
+	e.mu.Lock()
+	e.mempool = append(e.mempool, tx)
+	full := len(e.mempool) >= e.cfg.BlockMaxTxs
+	e.mu.Unlock()
+	if full {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush packages all pending mempool transactions, stamping blocks with
+// the current time.
+func (e *Engine) Flush() error { return e.FlushAt(time.Now().UnixMicro()) }
+
+// FlushAt packages all pending mempool transactions into blocks stamped
+// with the given timestamp (clamped to stay monotonic). Deterministic
+// loaders — the benchmark's data generator — use it to control the
+// chain's time axis.
+func (e *Engine) FlushAt(ts int64) error {
+	e.mu.Lock()
+	pending := e.mempool
+	e.mempool = nil
+	e.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	for len(pending) > 0 {
+		n := len(pending)
+		if n > e.cfg.BlockMaxTxs {
+			n = e.cfg.BlockMaxTxs
+		}
+		if _, err := e.CommitBlock(pending[:n], ts); err != nil {
+			return err
+		}
+		pending = pending[n:]
+	}
+	return nil
+}
+
+// CommitBlock packages the ordered transactions into the next block,
+// appends it durably and updates every index. It assigns Tids in order
+// and is the single entry point consensus uses to apply a decided batch.
+func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Monotonic block timestamps keep the block-level index's time
+	// lookups well-defined.
+	if ts <= e.lastTs {
+		ts = e.lastTs + 1
+	}
+	for i, tx := range txs {
+		tx.Tid = e.lastTid + uint64(i) + 1
+	}
+	var prev *types.BlockHeader
+	if tip, ok := e.store.Tip(); ok {
+		prev = &tip
+	}
+	b := types.NewBlock(prev, txs, ts, e.cfg.Signer)
+	b.Header.Sign(e.cfg.Key)
+	if _, err := e.store.Append(b); err != nil {
+		return nil, err
+	}
+	if err := e.indexBlockLocked(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ApplyBlock validates and appends a block produced elsewhere (received
+// via consensus/gossip), then indexes it.
+func (e *Engine) ApplyBlock(b *types.Block) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.store.Append(b); err != nil {
+		return err
+	}
+	return e.indexBlockLocked(b)
+}
+
+// indexBlock locks and indexes (used during replay).
+func (e *Engine) indexBlock(b *types.Block) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.indexBlockLocked(b)
+}
+
+// indexBlockLocked updates catalog, counters and all indexes for a
+// newly appended block. Callers hold e.mu.
+func (e *Engine) indexBlockLocked(b *types.Block) error {
+	bid := b.Header.Height
+	for _, tx := range b.Txs {
+		if err := e.catalog.ApplyTx(tx); err != nil {
+			return err
+		}
+		if err := e.contracts.ApplyTx(tx.Tname, tx.Args); err != nil {
+			return err
+		}
+		if tx.Tid > e.lastTid {
+			e.lastTid = tx.Tid
+		}
+	}
+	if b.Header.Timestamp > e.lastTs {
+		e.lastTs = b.Header.Timestamp
+	}
+
+	lastTid := b.Header.FirstTid
+	if n := len(b.Txs); n > 0 {
+		lastTid = b.Txs[n-1].Tid
+	}
+	e.blockIdx.Append(bid, b.Header.FirstTid, lastTid, b.Header.Timestamp)
+
+	// Table-level bitmaps on Tname and SenID.
+	for _, tx := range b.Txs {
+		e.tableIdx.Mark(tx.Tname, int(bid))
+		e.tableIdx.Mark("senid:"+tx.SenID, int(bid))
+	}
+
+	// Layered indexes: the global system ones plus any user indexes.
+	for key, idx := range e.lidx {
+		entries, err := e.entriesFor(key, b)
+		if err != nil {
+			return err
+		}
+		idx.AppendBlock(bid, entries)
+	}
+	for key, ali := range e.alis {
+		recs, err := e.recordsFor(key, b)
+		if err != nil {
+			return err
+		}
+		ali.AppendBlock(bid, recs)
+	}
+	return nil
+}
+
+// entriesFor extracts the layered-index entries of one block for the
+// index identified by key ("table.col" or ".senid"/".tname").
+func (e *Engine) entriesFor(key string, b *types.Block) ([]layered.Entry, error) {
+	spec := splitKey(key)
+	var out []layered.Entry
+	for pos, tx := range b.Txs {
+		v, ok, err := e.valueFor(spec, tx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, layered.Entry{Key: v, Pos: uint32(pos)})
+		}
+	}
+	return out, nil
+}
+
+// recordsFor extracts the ALI records of one block.
+func (e *Engine) recordsFor(key string, b *types.Block) ([]mbtree.Record, error) {
+	spec := splitKey(key)
+	var out []mbtree.Record
+	for _, tx := range b.Txs {
+		v, ok, err := e.valueFor(spec, tx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, mbtree.Record{Key: v, Payload: tx.EncodeBytes()})
+		}
+	}
+	return out, nil
+}
+
+// valueFor resolves the indexed value of tx under spec; ok is false
+// when the transaction does not belong to the indexed table.
+func (e *Engine) valueFor(spec indexSpec, tx *types.Transaction) (types.Value, bool, error) {
+	if spec.table == "" {
+		v, err := tx.SystemValue(spec.col)
+		if err != nil {
+			return types.Null, false, err
+		}
+		return v, true, nil
+	}
+	if tx.Tname != spec.table {
+		return types.Null, false, nil
+	}
+	tbl, err := e.catalog.Lookup(spec.table)
+	if err != nil {
+		return types.Null, false, err
+	}
+	v, err := tbl.Value(tx, spec.col)
+	if err != nil {
+		return types.Null, false, err
+	}
+	return v, true, nil
+}
+
+func splitKey(key string) indexSpec {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return indexSpec{table: key[:i], col: key[i+1:]}
+		}
+	}
+	return indexSpec{col: key}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Index definitions are node-local configuration, not chain state, but
+// an operator expects them to survive restarts. The engine records every
+// CreateIndex/CreateAuthIndex call in a small JSON file in the data
+// directory and replays it on Open (the indexes themselves are derived
+// state and are rebuilt from the chain).
+
+const indexMetaFile = "indexes.json"
+
+type indexMeta struct {
+	// Layered lists user layered indexes as "table.col" keys.
+	Layered []string `json:"layered"`
+	// Auth lists ALIs as "table.col" keys ("" table = system column).
+	Auth []string `json:"auth"`
+}
+
+func (e *Engine) indexMetaPath() string {
+	return filepath.Join(e.cfg.Dir, indexMetaFile)
+}
+
+// loadIndexMeta replays persisted index definitions after the chain has
+// been reindexed on Open.
+func (e *Engine) loadIndexMeta() error {
+	raw, err := os.ReadFile(e.indexMetaPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: index meta: %w", err)
+	}
+	var m indexMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("core: index meta: %w", err)
+	}
+	for _, key := range m.Layered {
+		spec := splitKey(key)
+		if err := e.CreateIndex(spec.table, spec.col); err != nil {
+			return fmt.Errorf("core: replaying layered index %q: %w", key, err)
+		}
+	}
+	for _, key := range m.Auth {
+		spec := splitKey(key)
+		if err := e.CreateAuthIndex(spec.table, spec.col); err != nil {
+			return fmt.Errorf("core: replaying auth index %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// saveIndexMeta writes the current user index definitions. Callers hold
+// no lock; the engine's mu protects the maps read here.
+func (e *Engine) saveIndexMeta() error {
+	var m indexMeta
+	e.mu.RLock()
+	for key := range e.lidx {
+		if key == ".senid" || key == ".tname" {
+			continue // the global system indexes always exist
+		}
+		m.Layered = append(m.Layered, key)
+	}
+	for key := range e.alis {
+		m.Auth = append(m.Auth, key)
+	}
+	e.mu.RUnlock()
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := e.indexMetaPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("core: index meta: %w", err)
+	}
+	return os.Rename(tmp, e.indexMetaPath())
+}

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sebdb/internal/accessctl"
+	"sebdb/internal/contract"
+	"sebdb/internal/exec"
+	"sebdb/internal/plan"
+	"sebdb/internal/rdbms"
+	"sebdb/internal/schema"
+	"sebdb/internal/sqlparser"
+	"sebdb/internal/types"
+)
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Value
+}
+
+// Execute parses and runs one SQL-like statement as the configured
+// default sender. Placeholders ('?') in INSERT are bound from params.
+func (e *Engine) Execute(sql string, params ...types.Value) (*Result, error) {
+	return e.ExecuteAs(e.cfg.DefaultSender, sql, params...)
+}
+
+// ExecuteAs runs a statement on behalf of the given sender identity.
+func (e *Engine) ExecuteAs(sender, sql string, params ...types.Value) (*Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkAccess(sender, st); err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sqlparser.CreateTable:
+		return e.execCreate(sender, s)
+	case *sqlparser.Insert:
+		return e.execInsert(sender, s, params)
+	case *sqlparser.Select:
+		return e.execSelect(s)
+	case *sqlparser.Join:
+		return e.execJoin(s)
+	case *sqlparser.Trace:
+		return e.execTrace(s)
+	case *sqlparser.GetBlock:
+		return e.execGetBlock(s)
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", st)
+	}
+}
+
+// execCreate registers the table locally and emits the schema-sync
+// transaction so peers replay the same DDL (§IV-A).
+func (e *Engine) execCreate(sender string, s *sqlparser.CreateTable) (*Result, error) {
+	tbl, err := schema.NewTable(s.Name, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.catalog.Define(tbl); err != nil {
+		return nil, err
+	}
+	tx := &types.Transaction{
+		Ts:    e.nowMicro(),
+		SenID: sender,
+		Tname: schema.MetaTable,
+		Args:  tbl.EncodeDDL(),
+	}
+	e.mu.RLock()
+	key, ok := e.keys[sender]
+	e.mu.RUnlock()
+	if ok {
+		tx.Sign(key)
+	}
+	if err := e.Submit(tx); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: []string{"status"}, Rows: [][]types.Value{{types.Str("created " + tbl.Name)}}}, nil
+}
+
+func (e *Engine) execInsert(sender string, s *sqlparser.Insert, params []types.Value) (*Result, error) {
+	if len(params) != len(s.Params) {
+		return nil, fmt.Errorf("core: statement has %d placeholders, got %d params",
+			len(s.Params), len(params))
+	}
+	vals := append([]types.Value(nil), s.Values...)
+	for i, pos := range s.Params {
+		vals[pos] = params[i]
+	}
+	tx, err := e.NewTransaction(sender, s.Table, vals)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Submit(tx); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: []string{"status"}, Rows: [][]types.Value{{types.Str("queued")}}}, nil
+}
+
+// estimateLayered estimates the result size p of driving the layered
+// index with pred, by counting second-level matches (index-only, no
+// transaction reads), capped to keep planning cheap.
+func (e *Engine) estimateLayered(tbl *schema.Table, preds []sqlparser.Pred) (int, bool) {
+	const cap = 200_000
+	for _, p := range preds {
+		idx := e.Layered(tbl.Name, p.Col)
+		if idx == nil {
+			continue
+		}
+		lo, hi, exact := predBoundsOf(p)
+		if !exact {
+			continue
+		}
+		total := 0
+		idx.CandidateBlocks(lo, hi).ForEach(func(bid int) bool {
+			idx.BlockRange(uint64(bid), lo, hi, func(types.Value, uint32) bool {
+				total++
+				return total < cap
+			})
+			return total < cap
+		})
+		return total, true
+	}
+	return -1, false
+}
+
+func predBoundsOf(p sqlparser.Pred) (types.Value, types.Value, bool) {
+	switch p.Op {
+	case sqlparser.OpEq:
+		return p.Val, p.Val, true
+	case sqlparser.OpBetween:
+		return p.Val, p.Hi, true
+	default:
+		return types.Null, types.Null, false
+	}
+}
+
+// execSelect plans and runs a single-table query, on or off chain.
+func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
+	onChain := e.catalog.Has(s.Table.Name)
+	switch s.Table.Chain {
+	case sqlparser.ChainOn:
+		if !onChain {
+			return nil, fmt.Errorf("core: no on-chain table %q", s.Table.Name)
+		}
+	case sqlparser.ChainOff:
+		onChain = false
+	case sqlparser.ChainDefault:
+		if !onChain && !e.offDB.HasTable(s.Table.Name) {
+			return nil, fmt.Errorf("core: no such table %q", s.Table.Name)
+		}
+	}
+	if !onChain {
+		return e.selectOffChain(s)
+	}
+
+	tbl, err := e.catalog.Lookup(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := e.NumBlocks()
+	k := e.TableBlocks(tbl.Name).Count()
+	p, hasLayered := e.estimateLayered(tbl, s.Where)
+	if !hasLayered {
+		p = -1
+	}
+	choice := plan.Choose(plan.DefaultCostModel(), n, k, p)
+	txs, _, err := exec.Select(e, tbl.Name, s.Where, s.Window, choice.Method)
+	if err != nil {
+		return nil, err
+	}
+	if s.Count {
+		return &Result{Columns: []string{"count"},
+			Rows: [][]types.Value{{types.Int(int64(len(txs)))}}}, nil
+	}
+	// ORDER BY sorts on the full tuple before projection, so the sort
+	// column need not appear in the select list.
+	if s.OrderBy != "" {
+		if _, _, err := tbl.ColumnKind(s.OrderBy); err != nil {
+			return nil, err
+		}
+		var serr error
+		sort.SliceStable(txs, func(a, b int) bool {
+			va, err := tbl.Value(txs[a], s.OrderBy)
+			if err != nil {
+				serr = err
+			}
+			vb, err := tbl.Value(txs[b], s.OrderBy)
+			if err != nil {
+				serr = err
+			}
+			cmp := types.Compare(va, vb)
+			if s.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	if s.Limit > 0 && len(txs) > s.Limit {
+		txs = txs[:s.Limit]
+	}
+	return e.projectTxs(tbl, s.Columns, txs)
+}
+
+// orderLimitRows sorts full off-chain rows by the named column and
+// truncates, before any projection.
+func orderLimitRows(rows [][]types.Value, names []string, s *sqlparser.Select) ([][]types.Value, error) {
+	if s.OrderBy != "" {
+		ci := -1
+		for i, c := range names {
+			if c == s.OrderBy {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("core: ORDER BY column %q not in table", s.OrderBy)
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			cmp := types.Compare(rows[a][ci], rows[b][ci])
+			if s.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if s.Limit > 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	return rows, nil
+}
+
+// selectOffChain evaluates a SELECT against the local RDBMS.
+func (e *Engine) selectOffChain(s *sqlparser.Select) (*Result, error) {
+	cols, err := e.offDB.Columns(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	var preds []rdbms.Pred
+	for _, p := range s.Where {
+		ci, err := e.offDB.ColIndex(s.Table.Name, p.Col)
+		if err != nil {
+			return nil, err
+		}
+		pc := p
+		preds = append(preds, func(r rdbms.Row) bool {
+			cmp := types.Compare(r[ci], pc.Val)
+			switch pc.Op {
+			case sqlparser.OpEq:
+				return cmp == 0
+			case sqlparser.OpNe:
+				return cmp != 0
+			case sqlparser.OpLt:
+				return cmp < 0
+			case sqlparser.OpLe:
+				return cmp <= 0
+			case sqlparser.OpGt:
+				return cmp > 0
+			case sqlparser.OpGe:
+				return cmp >= 0
+			case sqlparser.OpBetween:
+				return cmp >= 0 && types.Compare(r[ci], pc.Hi) <= 0
+			}
+			return false
+		})
+	}
+	rows, err := e.offDB.Select(s.Table.Name, preds...)
+	if err != nil {
+		return nil, err
+	}
+	if s.Count {
+		return &Result{Columns: []string{"count"},
+			Rows: [][]types.Value{{types.Int(int64(len(rows)))}}}, nil
+	}
+
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	rows, err = orderLimitRows(rows, names, s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Columns == nil {
+		return &Result{Columns: names, Rows: rows}, nil
+	}
+	idxs := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		ci, err := e.offDB.ColIndex(s.Table.Name, c)
+		if err != nil {
+			return nil, err
+		}
+		idxs[i] = ci
+	}
+	out := make([][]types.Value, len(rows))
+	for r, row := range rows {
+		pr := make([]types.Value, len(idxs))
+		for i, ci := range idxs {
+			pr[i] = row[ci]
+		}
+		out[r] = pr
+	}
+	return &Result{Columns: s.Columns, Rows: out}, nil
+}
+
+// projectTxs renders transactions as result rows for the requested
+// columns (all system + application columns for SELECT *).
+func (e *Engine) projectTxs(tbl *schema.Table, cols []string, txs []*types.Transaction) (*Result, error) {
+	if cols == nil {
+		cols = tbl.AllColumnNames()
+	}
+	res := &Result{Columns: cols, Rows: make([][]types.Value, 0, len(txs))}
+	for _, tx := range txs {
+		row := make([]types.Value, len(cols))
+		for i, c := range cols {
+			v, err := tbl.Value(tx, c)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// execTrace runs the track-trace operation; the global system-column
+// indexes always exist, so the layered path of Algorithm 1 is used.
+func (e *Engine) execTrace(s *sqlparser.Trace) (*Result, error) {
+	txs, _, err := exec.Track(e, s, exec.MethodLayered)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"tid", "ts", "senid", "tname"}
+	res := &Result{Columns: cols, Rows: make([][]types.Value, 0, len(txs))}
+	for _, tx := range txs {
+		res.Rows = append(res.Rows, []types.Value{
+			types.Int(int64(tx.Tid)), types.Time(tx.Ts), types.Str(tx.SenID), types.Str(tx.Tname),
+		})
+	}
+	return res, nil
+}
+
+// execJoin dispatches on-chain vs on-off-chain joins.
+func (e *Engine) execJoin(s *sqlparser.Join) (*Result, error) {
+	leftOn := s.Left.Chain != sqlparser.ChainOff && e.catalog.Has(s.Left.Name)
+	rightOn := s.Right.Chain != sqlparser.ChainOff && e.catalog.Has(s.Right.Name)
+
+	switch {
+	case leftOn && rightOn:
+		m := exec.MethodBitmap
+		if e.Layered(s.Left.Name, s.LeftCol) != nil && e.Layered(s.Right.Name, s.RightCol) != nil {
+			m = exec.MethodLayered
+		}
+		rows, _, err := exec.OnChainJoin(e, s.Left.Name, s.Right.Name, s.LeftCol, s.RightCol, s.Window, m)
+		if err != nil {
+			return nil, err
+		}
+		return e.projectJoin(s, rows)
+	case leftOn && !rightOn:
+		m := exec.MethodBitmap
+		if e.Layered(s.Left.Name, s.LeftCol) != nil {
+			m = exec.MethodLayered
+		}
+		rows, _, err := exec.OnOffJoin(e, e.offDB, s.Left.Name, s.LeftCol, s.Right.Name, s.RightCol, s.Window, m)
+		if err != nil {
+			return nil, err
+		}
+		return e.projectOnOff(s.Left.Name, s.Right.Name, rows)
+	case !leftOn && rightOn:
+		// Normalise to on-chain ⋈ off-chain.
+		flipped := &sqlparser.Join{
+			Left: s.Right, Right: s.Left,
+			LeftCol: s.RightCol, RightCol: s.LeftCol,
+			Window: s.Window,
+		}
+		return e.execJoin(flipped)
+	default:
+		return nil, fmt.Errorf("core: join between two off-chain tables belongs in the RDBMS")
+	}
+}
+
+func (e *Engine) projectJoin(s *sqlparser.Join, rows []exec.JoinRow) (*Result, error) {
+	lt, err := e.catalog.Lookup(s.Left.Name)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.catalog.Lookup(s.Right.Name)
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	for _, c := range lt.AllColumnNames() {
+		cols = append(cols, lt.Name+"."+c)
+	}
+	for _, c := range rt.AllColumnNames() {
+		cols = append(cols, rt.Name+"."+c)
+	}
+	res := &Result{Columns: cols, Rows: make([][]types.Value, 0, len(rows))}
+	for _, jr := range rows {
+		row := make([]types.Value, 0, len(cols))
+		for _, c := range lt.AllColumnNames() {
+			v, err := lt.Value(jr.Left, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		for _, c := range rt.AllColumnNames() {
+			v, err := rt.Value(jr.Right, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (e *Engine) projectOnOff(onName, offName string, rows []exec.OnOffRow) (*Result, error) {
+	tbl, err := e.catalog.Lookup(onName)
+	if err != nil {
+		return nil, err
+	}
+	offCols, err := e.offDB.Columns(offName)
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	for _, c := range tbl.AllColumnNames() {
+		cols = append(cols, onName+"."+c)
+	}
+	for _, c := range offCols {
+		cols = append(cols, offName+"."+c.Name)
+	}
+	res := &Result{Columns: cols, Rows: make([][]types.Value, 0, len(rows))}
+	for _, r := range rows {
+		row := make([]types.Value, 0, len(cols))
+		for _, c := range tbl.AllColumnNames() {
+			v, err := tbl.Value(r.Tx, c)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		row = append(row, r.Row...)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// execGetBlock implements GET BLOCK ID|TID|TS=? (Q7) through the
+// block-level index.
+func (e *Engine) execGetBlock(s *sqlparser.GetBlock) (*Result, error) {
+	var bid uint64
+	var ok bool
+	switch s.By {
+	case sqlparser.ByID:
+		bid, ok = uint64(s.Val), e.blockIdx.ByBlockID(uint64(s.Val))
+	case sqlparser.ByTid:
+		bid, ok = e.blockIdx.ByTid(uint64(s.Val))
+	case sqlparser.ByTs:
+		bid, ok = e.blockIdx.ByTime(s.Val)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no block for %v", s.Val)
+	}
+	b, err := e.Block(bid)
+	if err != nil {
+		return nil, err
+	}
+	h := b.Header
+	hash := h.Hash()
+	prev := h.PrevHash
+	return &Result{
+		Columns: []string{"height", "timestamp", "txcount", "firsttid", "hash", "prevhash", "signer"},
+		Rows: [][]types.Value{{
+			types.Int(int64(h.Height)),
+			types.Time(h.Timestamp),
+			types.Int(int64(h.TxCount)),
+			types.Int(int64(h.FirstTid)),
+			types.Str(fmt.Sprintf("%x", hash[:8])),
+			types.Str(fmt.Sprintf("%x", prev[:8])),
+			types.Str(h.Signer),
+		}},
+	}, nil
+}
+
+// checkAccess enforces the channel permissions of the application
+// layer before any statement executes.
+func (e *Engine) checkAccess(sender string, st sqlparser.Statement) error {
+	switch s := st.(type) {
+	case *sqlparser.CreateTable:
+		return e.acl.Check(sender, s.Name, accessctl.OpWrite)
+	case *sqlparser.Insert:
+		return e.acl.Check(sender, s.Table, accessctl.OpWrite)
+	case *sqlparser.Select:
+		return e.acl.Check(sender, s.Table.Name, accessctl.OpRead)
+	case *sqlparser.Join:
+		return e.acl.CheckAll(sender, []string{s.Left.Name, s.Right.Name}, accessctl.OpRead)
+	case *sqlparser.Trace, *sqlparser.GetBlock:
+		// Tracking and block lookups span all tables; restrict to
+		// participants that can read everything they touch. Tables in
+		// private channels are filtered implicitly because their rows
+		// only reach nodes of that channel; node-local enforcement stays
+		// at the statement level here.
+		return nil
+	default:
+		return nil
+	}
+}
+
+// DeployContract validates a smart contract and submits its deployment
+// transaction, registering it locally at once (like DDL, deployment is
+// visible immediately on the deploying node and replays everywhere
+// else when the block propagates).
+func (e *Engine) DeployContract(sender, name string, statements []string) error {
+	c, err := contract.Parse(name, statements)
+	if err != nil {
+		return err
+	}
+	if err := e.contracts.Register(c); err != nil {
+		return err
+	}
+	tx := &types.Transaction{
+		Ts:    e.nowMicro(),
+		SenID: sender,
+		Tname: contract.MetaTable,
+		Args:  c.EncodeDeploy(),
+	}
+	e.mu.RLock()
+	key, ok := e.keys[sender]
+	e.mu.RUnlock()
+	if ok {
+		tx.Sign(key)
+	}
+	return e.Submit(tx)
+}
+
+// Contracts returns the node's deployed-contract registry.
+func (e *Engine) Contracts() *contract.Registry { return e.contracts }
+
+// InvokeContract runs a deployed contract as sender; each embedded
+// statement goes through the normal SQL path including access control.
+func (e *Engine) InvokeContract(sender, name string, args ...types.Value) (*Result, error) {
+	res, err := e.contracts.Invoke(func(s, sql string) ([]string, [][]types.Value, error) {
+		r, err := e.ExecuteAs(s, sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r.Columns, r.Rows, nil
+	}, sender, name, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows}, nil
+}
+
+// Explain parses a SELECT and reports the planner's access-path
+// decision with the estimated costs of Equations 1-3 — the
+// EXPLAIN-style introspection surface.
+func (e *Engine) Explain(sql string) (*Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := st.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports single-table SELECT, got %T", st)
+	}
+	if !e.catalog.Has(s.Table.Name) || s.Table.Chain == sqlparser.ChainOff {
+		return nil, fmt.Errorf("core: EXPLAIN supports on-chain tables")
+	}
+	tbl, err := e.catalog.Lookup(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := e.NumBlocks()
+	k := e.TableBlocks(tbl.Name).Count()
+	p, hasLayered := e.estimateLayered(tbl, s.Where)
+	if !hasLayered {
+		p = -1
+	}
+	ch := plan.Choose(plan.DefaultCostModel(), n, k, p)
+	cost := func(c float64) types.Value {
+		if c < 0 {
+			return types.Null
+		}
+		return types.Dec(c)
+	}
+	return &Result{
+		Columns: []string{"method", "blocks", "table_blocks", "est_rows",
+			"cost_scan", "cost_bitmap", "cost_layered"},
+		Rows: [][]types.Value{{
+			types.Str(ch.Method.String()),
+			types.Int(int64(n)),
+			types.Int(int64(k)),
+			types.Int(int64(p)),
+			cost(ch.CostScan),
+			cost(ch.CostBitmap),
+			cost(ch.CostLayered),
+		}},
+	}, nil
+}

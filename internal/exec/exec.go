@@ -1,0 +1,267 @@
+// Package exec implements SEBDB's query processing layer (paper §V):
+// single-table selection under the three access methods (full scan,
+// table-level bitmap, layered index), the track-trace operation
+// (Algorithm 1), the on-chain join (Algorithm 2), and the on-off-chain
+// join (Algorithm 3). Each operator works against the Chain interface
+// so it can run over the live engine, a cached view, or a test fixture.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/blockindex"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/schema"
+	"sebdb/internal/sqlparser"
+	"sebdb/internal/types"
+)
+
+// Chain is the read surface the executors need. The engine implements
+// it; Layered with an empty table name resolves the global system-column
+// indexes (SenID, Tname) that span every table.
+type Chain interface {
+	// NumBlocks returns the chain height (number of blocks).
+	NumBlocks() int
+	// Block reads a full block, possibly from cache.
+	Block(bid uint64) (*types.Block, error)
+	// Tx reads one transaction by position, possibly from cache.
+	Tx(bid uint64, pos uint32) (*types.Transaction, error)
+	// BlockIdx returns the block-level index.
+	BlockIdx() *blockindex.Index
+	// TableBlocks returns the table-level bitmap for a table name.
+	TableBlocks(name string) *bitmap.Bitmap
+	// Layered returns the layered index on table.col, or nil when the
+	// column is not indexed. table=="" addresses the global system
+	// indexes keyed by column ("senid", "tname").
+	Layered(table, col string) *layered.Index
+	// Table resolves a table schema.
+	Table(name string) (*schema.Table, error)
+}
+
+// Method selects the access path, mirroring the paper's SU/BU/LU runs.
+type Method int
+
+const (
+	// MethodScan reads every block (Equation 1).
+	MethodScan Method = iota
+	// MethodBitmap reads only blocks flagged by the table-level bitmap
+	// index (Equation 2).
+	MethodBitmap
+	// MethodLayered uses the layered index: first-level filtering plus
+	// per-block B+-tree probes (Equation 3).
+	MethodLayered
+)
+
+// String names the method like the paper's figure legends.
+func (m Method) String() string {
+	switch m {
+	case MethodScan:
+		return "scan"
+	case MethodBitmap:
+		return "bitmap"
+	case MethodLayered:
+		return "layered"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Stats counts the physical work an operator performed; tests use it to
+// check the cost model's ordering (Equations 1-3) empirically.
+type Stats struct {
+	// BlocksRead is the number of block bodies fetched.
+	BlocksRead int
+	// TxsExamined is the number of transactions inspected.
+	TxsExamined int
+	// IndexProbes is the number of second-level index probes.
+	IndexProbes int
+}
+
+// ErrNoIndex is returned when MethodLayered is requested but the needed
+// layered index does not exist.
+var ErrNoIndex = errors.New("exec: no layered index on requested column")
+
+// windowBlocks computes Algorithms 1-3's first bitmap B: blocks within
+// the time window, or all blocks when win is nil.
+func windowBlocks(c Chain, win *sqlparser.Window) *bitmap.Bitmap {
+	if win == nil {
+		return c.BlockIdx().AllBlocks()
+	}
+	return c.BlockIdx().TimeWindow(win.Start, win.End)
+}
+
+// inWindow checks the transaction-level time filter.
+func inWindow(tx *types.Transaction, win *sqlparser.Window) bool {
+	if win == nil {
+		return true
+	}
+	if tx.Ts < win.Start {
+		return false
+	}
+	return win.End == 0 || tx.Ts <= win.End
+}
+
+// evalPred evaluates one predicate against a transaction of table tbl.
+func evalPred(tbl *schema.Table, tx *types.Transaction, p sqlparser.Pred) (bool, error) {
+	v, err := tbl.Value(tx, p.Col)
+	if err != nil {
+		return false, err
+	}
+	cmp := types.Compare(v, p.Val)
+	switch p.Op {
+	case sqlparser.OpEq:
+		return cmp == 0, nil
+	case sqlparser.OpNe:
+		return cmp != 0, nil
+	case sqlparser.OpLt:
+		return cmp < 0, nil
+	case sqlparser.OpLe:
+		return cmp <= 0, nil
+	case sqlparser.OpGt:
+		return cmp > 0, nil
+	case sqlparser.OpGe:
+		return cmp >= 0, nil
+	case sqlparser.OpBetween:
+		return cmp >= 0 && types.Compare(v, p.Hi) <= 0, nil
+	default:
+		return false, fmt.Errorf("exec: unsupported operator %v", p.Op)
+	}
+}
+
+// matches evaluates the conjunction of predicates plus the membership
+// and window filters.
+func matches(tbl *schema.Table, tx *types.Transaction, preds []sqlparser.Pred, win *sqlparser.Window) (bool, error) {
+	if tx.Tname != tbl.Name || !inWindow(tx, win) {
+		return false, nil
+	}
+	for _, p := range preds {
+		ok, err := evalPred(tbl, tx, p)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// predBounds extracts the [lo, hi] range a predicate constrains its
+// column to, for driving the layered index.
+func predBounds(p sqlparser.Pred) (lo, hi types.Value, exact bool) {
+	switch p.Op {
+	case sqlparser.OpEq:
+		return p.Val, p.Val, true
+	case sqlparser.OpBetween:
+		return p.Val, p.Hi, true
+	case sqlparser.OpGe, sqlparser.OpGt:
+		return p.Val, posInf, false
+	case sqlparser.OpLe, sqlparser.OpLt:
+		return negInf, p.Val, false
+	default:
+		return negInf, posInf, false
+	}
+}
+
+// negInf and posInf bracket the total order of types.Compare.
+var (
+	negInf = types.Null
+	posInf = types.Value{Kind: types.KindTimestamp + 100}
+)
+
+// Select executes SELECT ... FROM table WHERE preds [WINDOW win] with
+// the given access method, returning matching transactions in chain
+// order.
+func Select(c Chain, table string, preds []sqlparser.Pred, win *sqlparser.Window, m Method) ([]*types.Transaction, Stats, error) {
+	var st Stats
+	tbl, err := c.Table(table)
+	if err != nil {
+		return nil, st, err
+	}
+	blocks := windowBlocks(c, win)
+
+	switch m {
+	case MethodScan:
+		// Equation 1: every block in the window is read.
+	case MethodBitmap:
+		blocks.And(c.TableBlocks(tbl.Name)) // Equation 2
+	case MethodLayered:
+		idx, drive := pickLayered(c, tbl, preds)
+		if idx == nil {
+			return nil, st, fmt.Errorf("%w: table %q", ErrNoIndex, table)
+		}
+		return layeredSelect(c, tbl, idx, drive, preds, win, blocks)
+	default:
+		return nil, st, fmt.Errorf("exec: unknown method %v", m)
+	}
+
+	var out []*types.Transaction
+	var scanErr error
+	blocks.ForEach(func(bid int) bool {
+		b, err := c.Block(uint64(bid))
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		st.BlocksRead++
+		for _, tx := range b.Txs {
+			st.TxsExamined++
+			ok, err := matches(tbl, tx, preds, win)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if ok {
+				out = append(out, tx)
+			}
+		}
+		return true
+	})
+	return out, st, scanErr
+}
+
+// pickLayered chooses the layered index (and the predicate that drives
+// it) for a query: the first predicate whose column is indexed.
+func pickLayered(c Chain, tbl *schema.Table, preds []sqlparser.Pred) (*layered.Index, *sqlparser.Pred) {
+	for i := range preds {
+		if idx := c.Layered(tbl.Name, preds[i].Col); idx != nil {
+			return idx, &preds[i]
+		}
+	}
+	return nil, nil
+}
+
+// layeredSelect is the layered-index access path: first-level filter to
+// candidate blocks, second-level B+-tree probe per block, then residual
+// predicate evaluation on the fetched transactions.
+func layeredSelect(c Chain, tbl *schema.Table, idx *layered.Index, drive *sqlparser.Pred,
+	preds []sqlparser.Pred, win *sqlparser.Window, blocks *bitmap.Bitmap) ([]*types.Transaction, Stats, error) {
+	var st Stats
+	lo, hi, _ := predBounds(*drive)
+	cand := idx.CandidateBlocks(lo, hi)
+	cand.And(blocks)
+
+	var out []*types.Transaction
+	var ferr error
+	cand.ForEach(func(bid int) bool {
+		st.IndexProbes++
+		idx.BlockRange(uint64(bid), lo, hi, func(_ types.Value, pos uint32) bool {
+			tx, err := c.Tx(uint64(bid), pos)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			st.TxsExamined++
+			ok, err := matches(tbl, tx, preds, win)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if ok {
+				out = append(out, tx)
+			}
+			return true
+		})
+		return ferr == nil
+	})
+	return out, st, ferr
+}

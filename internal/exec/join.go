@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"fmt"
+
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/rdbms"
+	"sebdb/internal/schema"
+	"sebdb/internal/sqlparser"
+	"sebdb/internal/types"
+)
+
+// JoinRow is one on-chain equi-join result.
+type JoinRow struct {
+	Left  *types.Transaction
+	Right *types.Transaction
+}
+
+// OnOffRow is one on-off-chain join result: an on-chain transaction
+// paired with an off-chain row.
+type OnOffRow struct {
+	Tx  *types.Transaction
+	Row rdbms.Row
+}
+
+// keyed is a (join key, transaction) pair used by the hash and merge
+// phases.
+type keyed struct {
+	key types.Value
+	tx  *types.Transaction
+}
+
+// collectKeyed reads the join column of every window-eligible
+// transaction of table tbl in the given blocks.
+func collectKeyed(c Chain, tbl *schema.Table, col string, blocks *bitmap.Bitmap,
+	win *sqlparser.Window, st *Stats) ([]keyed, error) {
+	var out []keyed
+	var ferr error
+	blocks.ForEach(func(bid int) bool {
+		b, err := c.Block(uint64(bid))
+		if err != nil {
+			ferr = err
+			return false
+		}
+		st.BlocksRead++
+		for _, tx := range b.Txs {
+			st.TxsExamined++
+			if tx.Tname != tbl.Name || !inWindow(tx, win) {
+				continue
+			}
+			v, err := tbl.Value(tx, col)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			out = append(out, keyed{key: v, tx: tx})
+		}
+		return true
+	})
+	return out, ferr
+}
+
+// hashKey buckets values for the hash join; numeric kinds share a key
+// space to match types.Compare's cross-kind equality.
+func hashKey(v types.Value) string {
+	if v.Numeric() {
+		return fmt.Sprintf("n:%g", v.Float())
+	}
+	return fmt.Sprintf("%d:%s", v.Kind, v.String())
+}
+
+// OnChainJoin implements the on-chain join (paper §V-B, Algorithm 2).
+//
+//   - MethodScan: one-pass hash join over every block in the window.
+//   - MethodBitmap: the same hash join, but only blocks containing rows
+//     of r or s (table-level bitmap) are read.
+//   - MethodLayered: Algorithm 2 — candidate block pairs are filtered by
+//     the first-level intersect() test, then each surviving pair is
+//     joined by sort-merge over the second-level B+-trees.
+func OnChainJoin(c Chain, r, s, rCol, sCol string, win *sqlparser.Window, m Method) ([]JoinRow, Stats, error) {
+	var st Stats
+	rt, err := c.Table(r)
+	if err != nil {
+		return nil, st, err
+	}
+	stt, err := c.Table(s)
+	if err != nil {
+		return nil, st, err
+	}
+
+	switch m {
+	case MethodScan, MethodBitmap:
+		// One-pass hash join (§V-B): a single scan over the relevant
+		// blocks partitions both tables' rows, then r probes s's hash
+		// table. Under MethodBitmap only blocks containing rows of r or
+		// s are read.
+		window := windowBlocks(c, win)
+		scanBlocks := window
+		rBlocks, sBlocks := window, window
+		if m == MethodBitmap {
+			rBlocks = window.Clone().And(c.TableBlocks(rt.Name))
+			sBlocks = window.Clone().And(c.TableBlocks(stt.Name))
+			scanBlocks = rBlocks.Clone().Or(sBlocks)
+		}
+		var rRows []keyed
+		ht := make(map[string][]*types.Transaction)
+		var ferr error
+		scanBlocks.ForEach(func(bid int) bool {
+			b, err := c.Block(uint64(bid))
+			if err != nil {
+				ferr = err
+				return false
+			}
+			st.BlocksRead++
+			inR := rBlocks.Get(bid)
+			inS := sBlocks.Get(bid)
+			for _, tx := range b.Txs {
+				st.TxsExamined++
+				if !inWindow(tx, win) {
+					continue
+				}
+				if inR && tx.Tname == rt.Name {
+					v, err := rt.Value(tx, rCol)
+					if err != nil {
+						ferr = err
+						return false
+					}
+					rRows = append(rRows, keyed{key: v, tx: tx})
+				}
+				if inS && tx.Tname == stt.Name {
+					v, err := stt.Value(tx, sCol)
+					if err != nil {
+						ferr = err
+						return false
+					}
+					ht[hashKey(v)] = append(ht[hashKey(v)], tx)
+				}
+			}
+			return true
+		})
+		if ferr != nil {
+			return nil, st, ferr
+		}
+		var out []JoinRow
+		for _, kr := range rRows {
+			for _, sx := range ht[hashKey(kr.key)] {
+				out = append(out, JoinRow{Left: kr.tx, Right: sx})
+			}
+		}
+		return out, st, nil
+
+	case MethodLayered:
+		return onChainJoinLayered(c, rt, stt, rCol, sCol, win, &st)
+	default:
+		return nil, st, fmt.Errorf("exec: unknown method %v", m)
+	}
+}
+
+func onChainJoinLayered(c Chain, rt, stt *schema.Table, rCol, sCol string,
+	win *sqlparser.Window, st *Stats) ([]JoinRow, Stats, error) {
+	ir := c.Layered(rt.Name, rCol)
+	is := c.Layered(stt.Name, sCol)
+	if ir == nil || is == nil {
+		return nil, *st, fmt.Errorf("%w: join columns %s.%s/%s.%s",
+			ErrNoIndex, rt.Name, rCol, stt.Name, sCol)
+	}
+	// Lines 2-7: window bitmap ANDed with each index's first level.
+	window := windowBlocks(c, win)
+	mr := ir.AnyBlocks().And(window)
+	ms := is.AnyBlocks().And(window.Clone())
+
+	// Lines 8-15: intersect test per candidate pair (driven by the
+	// first-level values/buckets), then sort-merge per surviving pair.
+	// Second-level entries are materialised once per block, not per
+	// pair.
+	var out []JoinRow
+	rCache := make(map[uint64][]layered.Entry)
+	sCache := make(map[uint64][]layered.Entry)
+	for _, pair := range ir.JoinPairs(is, mr, ms) {
+		st.IndexProbes++
+		re, ok := rCache[pair[0]]
+		if !ok {
+			re = blockEntries(ir, pair[0])
+			rCache[pair[0]] = re
+		}
+		se, ok := sCache[pair[1]]
+		if !ok {
+			se = blockEntries(is, pair[1])
+			sCache[pair[1]] = se
+		}
+		rows, err := sortMergeEntries(c, re, se, pair[0], pair[1], win, st)
+		if err != nil {
+			return nil, *st, err
+		}
+		out = append(out, rows...)
+	}
+	return out, *st, nil
+}
+
+// blockEntries materialises a block's second-level index in key order.
+func blockEntries(idx *layered.Index, bid uint64) []layered.Entry {
+	var out []layered.Entry
+	idx.BlockRange(bid, negInf, posInf, func(k types.Value, pos uint32) bool {
+		out = append(out, layered.Entry{Key: k, Pos: pos})
+		return true
+	})
+	return out
+}
+
+// sortMergeEntries merge-joins two blocks' second-level entry lists;
+// leaves are key-sorted, so this is the SortMergeJoin(b_r, b_s) of
+// Algorithm 2.
+func sortMergeEntries(c Chain, re, se []layered.Entry,
+	br, bs uint64, win *sqlparser.Window, st *Stats) ([]JoinRow, error) {
+	var out []JoinRow
+	i, j := 0, 0
+	for i < len(re) && j < len(se) {
+		cmp := types.Compare(re[i].Key, se[j].Key)
+		switch {
+		case cmp < 0:
+			i++
+		case cmp > 0:
+			j++
+		default:
+			// Expand both duplicate runs.
+			i2 := i
+			for i2 < len(re) && types.Equal(re[i2].Key, re[i].Key) {
+				i2++
+			}
+			j2 := j
+			for j2 < len(se) && types.Equal(se[j2].Key, se[j].Key) {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				ltx, err := c.Tx(br, re[a].Pos)
+				if err != nil {
+					return nil, err
+				}
+				st.TxsExamined++
+				if !inWindow(ltx, win) {
+					continue
+				}
+				for b := j; b < j2; b++ {
+					rtx, err := c.Tx(bs, se[b].Pos)
+					if err != nil {
+						return nil, err
+					}
+					st.TxsExamined++
+					if !inWindow(rtx, win) {
+						continue
+					}
+					out = append(out, JoinRow{Left: ltx, Right: rtx})
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetGrow(t *testing.T) {
+	b := New()
+	if b.Get(0) || b.Get(1000) {
+		t.Error("fresh bitmap has set bits")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(1000)
+	for _, i := range []int{0, 63, 64, 1000} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(999) || b.Get(-1) {
+		t.Error("unexpected bits set")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if b.Empty() {
+		t.Error("non-empty reported empty")
+	}
+	if !New().Empty() {
+		t.Error("fresh bitmap not empty")
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := FromSlice([]int{1, 5, 70, 200})
+	b := FromSlice([]int{5, 70, 300})
+	and := a.Clone().And(b)
+	if got := and.Slice(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Errorf("And = %v", got)
+	}
+	or := a.Clone().Or(b)
+	if got := or.Slice(); len(got) != 5 || got[4] != 300 {
+		t.Errorf("Or = %v", got)
+	}
+	not := a.Clone().AndNot(b)
+	if got := not.Slice(); len(got) != 2 || got[0] != 1 || got[1] != 200 {
+		t.Errorf("AndNot = %v", got)
+	}
+	// And with a shorter bitmap clears high words.
+	c := FromSlice([]int{500}).And(FromSlice([]int{1}))
+	if !c.Empty() {
+		t.Error("And with short bitmap left high bits")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{3})
+	c := a.Clone()
+	c.Set(4)
+	if a.Get(4) {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestSetRangeAndForEach(t *testing.T) {
+	b := New()
+	b.SetRange(60, 70)
+	if b.Count() != 11 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 60 || got[2] != 62 {
+		t.Errorf("ForEach early-stop = %v", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice([]int{100})
+	b := FromSlice([]int{100, 5})
+	c := FromSlice([]int{5})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping bitmaps reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint bitmaps reported overlapping")
+	}
+	if a.Intersects(New()) {
+		t.Error("empty intersects")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(xs []uint16) bool {
+		seen := map[int]bool{}
+		var unique []int
+		for _, x := range xs {
+			i := int(x)
+			if !seen[i] {
+				seen[i] = true
+				unique = append(unique, i)
+			}
+		}
+		b := FromSlice(unique)
+		if b.Count() != len(unique) {
+			return false
+		}
+		for _, i := range unique {
+			if !b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganQuick(t *testing.T) {
+	// |A ∩ B| + |A \ B| == |A|
+	f := func(as, bs []uint16) bool {
+		toInts := func(xs []uint16) []int {
+			out := make([]int, len(xs))
+			for i, x := range xs {
+				out[i] = int(x)
+			}
+			return out
+		}
+		a := FromSlice(toInts(as))
+		b := FromSlice(toInts(bs))
+		inter := a.Clone().And(b).Count()
+		diff := a.Clone().AndNot(b).Count()
+		return inter+diff == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableIndex(t *testing.T) {
+	ti := NewTableIndex()
+	ti.Mark("donate", 0)
+	ti.Mark("donate", 5)
+	ti.Mark("transfer", 5)
+	if !ti.Contains("donate", 5) || ti.Contains("donate", 1) {
+		t.Error("Contains misbehaves")
+	}
+	if ti.Contains("ghost", 0) {
+		t.Error("unknown key contains block")
+	}
+	got := ti.Blocks("donate").Slice()
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Errorf("Blocks = %v", got)
+	}
+	if !ti.Blocks("ghost").Empty() {
+		t.Error("unknown key bitmap not empty")
+	}
+	// Returned bitmap is a copy.
+	ti.Blocks("donate").Set(9)
+	if ti.Contains("donate", 9) {
+		t.Error("Blocks returned aliased bitmap")
+	}
+	keys := ti.Keys()
+	if len(keys) != 2 || keys[0] != "donate" || keys[1] != "transfer" {
+		t.Errorf("Keys = %v", keys)
+	}
+}

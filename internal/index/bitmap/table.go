@@ -1,0 +1,64 @@
+package bitmap
+
+import (
+	"sort"
+	"sync"
+)
+
+// TableIndex is the paper's table-level bitmap index (§IV-B): one bitmap
+// per key, where bit i indicates that block i contains transactions for
+// that key. SEBDB maintains one TableIndex keyed by Tname and can
+// maintain another keyed by SenID for tracking queries.
+type TableIndex struct {
+	mu   sync.RWMutex
+	bits map[string]*Bitmap
+}
+
+// NewTableIndex returns an empty table-level index.
+func NewTableIndex() *TableIndex {
+	return &TableIndex{bits: make(map[string]*Bitmap)}
+}
+
+// Mark records that block blockID contains rows for key. New keys
+// (tables) get a fresh bitmap automatically.
+func (t *TableIndex) Mark(key string, blockID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.bits[key]
+	if !ok {
+		b = New()
+		t.bits[key] = b
+	}
+	b.Set(blockID)
+}
+
+// Blocks returns a copy of the bitmap for key; an empty bitmap if the
+// key is unknown.
+func (t *TableIndex) Blocks(key string) *Bitmap {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if b, ok := t.bits[key]; ok {
+		return b.Clone()
+	}
+	return New()
+}
+
+// Contains reports whether block blockID holds rows for key.
+func (t *TableIndex) Contains(key string, blockID int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.bits[key]
+	return ok && b.Get(blockID)
+}
+
+// Keys returns all indexed keys in sorted order.
+func (t *TableIndex) Keys() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.bits))
+	for k := range t.bits {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,113 @@
+// Package blockindex implements the paper's block-level B+-tree (§IV-B):
+// an index over (bid, tid, Ts) that locates a block given a block id, a
+// transaction id, or a timestamp. Because all three keys grow
+// monotonically as blocks are appended, the underlying B+-trees keep
+// their leaves full (see bptree's append-optimised split).
+package blockindex
+
+import (
+	"sync"
+
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/index/bptree"
+	"sebdb/internal/types"
+)
+
+// Index locates blocks by id, first transaction id, or timestamp.
+type Index struct {
+	mu    sync.RWMutex
+	byTid *bptree.Tree // firstTid -> bid
+	byTs  *bptree.Tree // block timestamp -> bid
+	// count is the number of indexed blocks; bids are dense [0, count).
+	count uint64
+	// lastTid tracks the largest tid seen so ByTid can reject ids beyond
+	// the chain tip.
+	lastTid uint64
+}
+
+// New returns an empty block index.
+func New() *Index {
+	return &Index{
+		byTid: bptree.New(0),
+		byTs:  bptree.New(0),
+	}
+}
+
+// Append indexes a newly chained block. Blocks must be appended in
+// height order; firstTid is the id of its first transaction, lastTid of
+// its last, and ts its packaging timestamp.
+func (x *Index) Append(bid uint64, firstTid, lastTid uint64, ts int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.byTid.Insert(types.Int(int64(firstTid)), bid)
+	x.byTs.Insert(types.Time(ts), bid)
+	if lastTid > x.lastTid {
+		x.lastTid = lastTid
+	}
+	x.count++
+}
+
+// Count returns the number of indexed blocks.
+func (x *Index) Count() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.count
+}
+
+// ByBlockID reports whether block bid exists.
+func (x *Index) ByBlockID(bid uint64) bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return bid < x.count
+}
+
+// ByTid returns the block containing transaction tid. Blocks partition
+// the tid space, so the owner is the block with the greatest first tid
+// not exceeding tid.
+func (x *Index) ByTid(tid uint64) (uint64, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if tid > x.lastTid {
+		return 0, false
+	}
+	_, bid, ok := x.byTid.Floor(types.Int(int64(tid)))
+	return bid, ok
+}
+
+// ByTime returns the block current at timestamp ts: the newest block
+// packaged at or before ts.
+func (x *Index) ByTime(ts int64) (uint64, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	_, bid, ok := x.byTs.Floor(types.Time(ts))
+	return bid, ok
+}
+
+// TimeWindow returns a bitmap with bit i set when block i was packaged
+// within [start, end] — the first step of Algorithms 1–3. A zero end
+// means "no upper bound".
+func (x *Index) TimeWindow(start, end int64) *bitmap.Bitmap {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := bitmap.New()
+	if end == 0 {
+		end = int64(^uint64(0) >> 1)
+	}
+	x.byTs.Range(types.Time(start), types.Time(end), func(_ types.Value, bid uint64) bool {
+		out.Set(int(bid))
+		return true
+	})
+	return out
+}
+
+// AllBlocks returns a bitmap with every indexed block set; used when a
+// query has no time window.
+func (x *Index) AllBlocks() *bitmap.Bitmap {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := bitmap.New()
+	if x.count > 0 {
+		out.SetRange(0, int(x.count-1))
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package blockindex
+
+import (
+	"testing"
+)
+
+// buildIndex appends n blocks: block i holds tids [i*10+1, i*10+10] and
+// was packaged at timestamp (i+1)*100.
+func buildIndex(n int) *Index {
+	x := New()
+	for i := 0; i < n; i++ {
+		first := uint64(i*10 + 1)
+		x.Append(uint64(i), first, first+9, int64(i+1)*100)
+	}
+	return x
+}
+
+func TestByBlockID(t *testing.T) {
+	x := buildIndex(5)
+	if x.Count() != 5 {
+		t.Fatalf("Count = %d", x.Count())
+	}
+	if !x.ByBlockID(0) || !x.ByBlockID(4) {
+		t.Error("existing blocks not found")
+	}
+	if x.ByBlockID(5) {
+		t.Error("missing block found")
+	}
+}
+
+func TestByTid(t *testing.T) {
+	x := buildIndex(5)
+	cases := []struct {
+		tid  uint64
+		want uint64
+		ok   bool
+	}{
+		{1, 0, true}, {10, 0, true}, {11, 1, true},
+		{25, 2, true}, {50, 4, true}, {41, 4, true},
+		{51, 0, false}, // beyond tip
+	}
+	for _, c := range cases {
+		got, ok := x.ByTid(c.tid)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ByTid(%d) = %d,%v; want %d,%v", c.tid, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := New().ByTid(1); ok {
+		t.Error("empty index resolved a tid")
+	}
+}
+
+func TestByTime(t *testing.T) {
+	x := buildIndex(5)
+	cases := []struct {
+		ts   int64
+		want uint64
+		ok   bool
+	}{
+		{100, 0, true}, {150, 0, true}, {200, 1, true},
+		{500, 4, true}, {9999, 4, true}, {50, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := x.ByTime(c.ts)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ByTime(%d) = %d,%v; want %d,%v", c.ts, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	x := buildIndex(10)
+	got := x.TimeWindow(250, 650).Slice()
+	// Blocks at ts 300..600 → ids 2..5.
+	if len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Errorf("TimeWindow = %v", got)
+	}
+	// Open-ended window.
+	if n := x.TimeWindow(0, 0).Count(); n != 10 {
+		t.Errorf("open window covers %d blocks", n)
+	}
+	if !x.TimeWindow(9000, 9999).Empty() {
+		t.Error("future window not empty")
+	}
+}
+
+func TestAllBlocks(t *testing.T) {
+	if !New().AllBlocks().Empty() {
+		t.Error("empty index AllBlocks not empty")
+	}
+	x := buildIndex(3)
+	if got := x.AllBlocks().Slice(); len(got) != 3 || got[2] != 2 {
+		t.Errorf("AllBlocks = %v", got)
+	}
+}

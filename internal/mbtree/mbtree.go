@@ -1,0 +1,185 @@
+// Package mbtree implements the Merkle B-tree of Li et al. (SIGMOD'06)
+// as used by SEBDB's authenticated layered index (paper §VI): a
+// bulk-loaded B+-tree whose leaf entries carry record hashes and whose
+// internal nodes hash the concatenation of their children. Range
+// queries produce a verification object (VO) from which a client can
+// reconstruct the root digest and check both the soundness and the
+// completeness of the result set.
+//
+// Blocks in SEBDB are immutable, so each block's MB-tree is static and
+// built once when the block is chained.
+package mbtree
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"sebdb/internal/types"
+)
+
+// Hash is a 32-byte SHA-256 digest.
+type Hash = [32]byte
+
+// DefaultFanout approximates the paper's 4 KB MB-tree page: a page holds
+// on the order of a hundred 33-byte (key, digest) slots.
+const DefaultFanout = 100
+
+// Record is one indexed item: the attribute key and the payload bytes
+// it authenticates (in SEBDB, the encoded transaction).
+type Record struct {
+	Key     types.Value
+	Payload []byte
+}
+
+// recordHash binds key and payload: H(0x02 || enc(key) || payload).
+func recordHash(r Record) Hash {
+	e := types.NewEncoder(32 + len(r.Payload))
+	e.Uint8(0x02)
+	e.Value(r.Key)
+	e.Blob(r.Payload)
+	return sha256.Sum256(e.Bytes())
+}
+
+func leafHash(hs []Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	for _, x := range hs {
+		h.Write(x[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func innerHash(hs []Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	for _, x := range hs {
+		h.Write(x[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+type node struct {
+	leaf   bool
+	recs   []Record // leaf only
+	kids   []*node  // inner only
+	min    types.Value
+	max    types.Value
+	digest Hash
+}
+
+// Tree is a static Merkle B-tree.
+type Tree struct {
+	root   *node
+	fanout int
+	size   int
+	// all is the sorted record slice; leaves alias sub-slices of it.
+	all []Record
+}
+
+// Build constructs an MB-tree over the records, sorting them by key.
+// fanout <= 1 selects DefaultFanout.
+func Build(records []Record, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{fanout: fanout, size: len(records)}
+	rs := make([]Record, len(records))
+	copy(rs, records)
+	sort.SliceStable(rs, func(i, j int) bool {
+		return types.Compare(rs[i].Key, rs[j].Key) < 0
+	})
+	t.all = rs
+	if len(rs) == 0 {
+		t.root = &node{leaf: true, digest: leafHash(nil)}
+		return t
+	}
+
+	var level []*node
+	for off := 0; off < len(rs); off += fanout {
+		end := off + fanout
+		if end > len(rs) {
+			end = len(rs)
+		}
+		n := &node{leaf: true, recs: rs[off:end:end]}
+		hs := make([]Hash, 0, end-off)
+		for _, r := range n.recs {
+			hs = append(hs, recordHash(r))
+		}
+		n.digest = leafHash(hs)
+		n.min, n.max = n.recs[0].Key, n.recs[len(n.recs)-1].Key
+		level = append(level, n)
+	}
+	for len(level) > 1 {
+		var parents []*node
+		for off := 0; off < len(level); off += fanout {
+			end := off + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			p := &node{kids: level[off:end:end]}
+			hs := make([]Hash, 0, end-off)
+			for _, k := range p.kids {
+				hs = append(hs, k.digest)
+			}
+			p.digest = innerHash(hs)
+			p.min = p.kids[0].min
+			p.max = p.kids[len(p.kids)-1].max
+			parents = append(parents, p)
+		}
+		level = parents
+	}
+	t.root = level[0]
+	return t
+}
+
+// Root returns the tree's root digest — the per-block snapshot the
+// auxiliary full node hashes into its digest.
+func (t *Tree) Root() Hash { return t.root.digest }
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return t.size }
+
+// Min returns the smallest key; ok is false for an empty tree.
+func (t *Tree) Min() (types.Value, bool) {
+	if t.size == 0 {
+		return types.Null, false
+	}
+	return t.root.min, true
+}
+
+// Max returns the largest key; ok is false for an empty tree.
+func (t *Tree) Max() (types.Value, bool) {
+	if t.size == 0 {
+		return types.Null, false
+	}
+	return t.root.max, true
+}
+
+// boundaries returns the extended query range [exLo, exHi] that the VO
+// must expose: the greatest key strictly below lo (the left boundary
+// record proving nothing in range was omitted on the left) and the
+// smallest key strictly above hi. When no such boundary exists the
+// original bound is kept — the VO's shape then proves the range touches
+// the edge of the tree.
+func (t *Tree) boundaries(lo, hi types.Value) (types.Value, types.Value) {
+	exLo, exHi := lo, hi
+	// First record >= lo; its predecessor is the left boundary.
+	i := sort.Search(len(t.all), func(i int) bool {
+		return types.Compare(t.all[i].Key, lo) >= 0
+	})
+	if i > 0 {
+		exLo = t.all[i-1].Key
+	}
+	// First record > hi is the right boundary.
+	j := sort.Search(len(t.all), func(i int) bool {
+		return types.Compare(t.all[i].Key, hi) > 0
+	})
+	if j < len(t.all) {
+		exHi = t.all[j].Key
+	}
+	return exLo, exHi
+}

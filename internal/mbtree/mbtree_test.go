@@ -1,0 +1,291 @@
+package mbtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sebdb/internal/types"
+)
+
+func recs(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{Key: types.Int(int64(i * 2)), Payload: []byte(fmt.Sprintf("tx-%d", i))}
+	}
+	return out
+}
+
+func TestBuildAndRoot(t *testing.T) {
+	rs := recs(500)
+	a := Build(rs, 10)
+	b := Build(rs, 10)
+	if a.Root() != b.Root() {
+		t.Error("same records must give same root")
+	}
+	if a.Len() != 500 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	// Shuffled input gives the same root (builder sorts).
+	shuffled := recs(500)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if Build(shuffled, 10).Root() != a.Root() {
+		t.Error("shuffle changed root")
+	}
+	// A different record changes the root.
+	mod := recs(500)
+	mod[250].Payload = []byte("evil")
+	if Build(mod, 10).Root() == a.Root() {
+		t.Error("tampered record did not change root")
+	}
+	// Fanout changes the shape and hence the root (acceptable: fanout is
+	// a consensus-fixed parameter).
+	if mn, _ := a.Min(); mn != types.Int(0) {
+		t.Errorf("Min = %v", mn)
+	}
+	if mx, _ := a.Max(); mx != types.Int(998) {
+		t.Errorf("Max = %v", mx)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	e := Build(nil, 0)
+	if e.Len() != 0 {
+		t.Error("empty tree has records")
+	}
+	if _, ok := e.Min(); ok {
+		t.Error("empty tree has Min")
+	}
+	vo := e.RangeVO(types.Int(0), types.Int(10))
+	got, err := Verify(vo, e.Root(), types.Int(0), types.Int(10))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty tree VO: %v, %v", got, err)
+	}
+}
+
+func rangeWant(rs []Record, lo, hi types.Value) []Record {
+	var out []Record
+	for _, r := range rs {
+		if types.Compare(r.Key, lo) >= 0 && types.Compare(r.Key, hi) <= 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestRangeVOVerify(t *testing.T) {
+	rs := recs(300) // keys 0,2,...,598
+	tree := Build(rs, 8)
+	root := tree.Root()
+	cases := []struct{ lo, hi int64 }{
+		{100, 120},   // interior
+		{-10, 4},     // touches left edge
+		{590, 700},   // touches right edge
+		{-10, 10000}, // covers everything
+		{101, 101},   // empty (odd key)
+		{100, 100},   // single
+		{700, 800},   // beyond max
+		{-20, -10},   // below min
+	}
+	for _, c := range cases {
+		lo, hi := types.Int(c.lo), types.Int(c.hi)
+		vo := tree.RangeVO(lo, hi)
+		got, err := Verify(vo, root, lo, hi)
+		if err != nil {
+			t.Errorf("[%d,%d]: %v", c.lo, c.hi, err)
+			continue
+		}
+		want := rangeWant(rs, lo, hi)
+		if !EqualRecords(got, want) {
+			t.Errorf("[%d,%d]: got %d records, want %d", c.lo, c.hi, len(got), len(want))
+		}
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tree := Build(recs(100), 8)
+	vo := tree.RangeVO(types.Int(10), types.Int(20))
+	bad := tree.Root()
+	bad[0] ^= 0xFF
+	if _, err := Verify(vo, bad, types.Int(10), types.Int(20)); err == nil {
+		t.Error("wrong root accepted")
+	}
+}
+
+func TestVerifyDetectsTamperedRecord(t *testing.T) {
+	tree := Build(recs(100), 8)
+	root := tree.Root()
+	vo := tree.RangeVO(types.Int(10), types.Int(20))
+	// Find an exposed leaf and corrupt a payload.
+	var corrupt func(n *VONode) bool
+	corrupt = func(n *VONode) bool {
+		for i := range n.Entries {
+			if r := n.Entries[i].Rec; r != nil && types.Compare(r.Key, types.Int(10)) >= 0 {
+				r.Payload = []byte("forged")
+				return true
+			}
+		}
+		for _, k := range n.Kids {
+			if corrupt(k) {
+				return true
+			}
+		}
+		return false
+	}
+	if !corrupt(vo.Root) {
+		t.Fatal("no record to corrupt")
+	}
+	if _, err := Verify(vo, root, types.Int(10), types.Int(20)); err == nil {
+		t.Error("tampered record accepted")
+	}
+}
+
+// TestVerifyDetectsWithheldResults simulates a malicious server that
+// drops part of the answer by substituting a pruned digest for a leaf
+// that contains in-range records.
+func TestVerifyDetectsWithheldResults(t *testing.T) {
+	rs := recs(128)
+	tree := Build(rs, 8)
+	root := tree.Root()
+	lo, hi := types.Int(100), types.Int(140)
+	vo := tree.RangeVO(lo, hi)
+
+	// Replace every exposed leaf holding in-range records with its
+	// (correct!) digest: digests match, but completeness must fail.
+	var prune func(n *VONode)
+	prune = func(n *VONode) {
+		for i, k := range n.Kids {
+			if k.Entries != nil {
+				inRange := false
+				hs := make([]Hash, len(k.Entries))
+				for j, le := range k.Entries {
+					if le.Rec != nil {
+						if types.Compare(le.Rec.Key, lo) >= 0 && types.Compare(le.Rec.Key, hi) <= 0 {
+							inRange = true
+						}
+						hs[j] = recordHash(*le.Rec)
+					} else {
+						hs[j] = *le.Digest
+					}
+				}
+				if inRange {
+					d := leafHash(hs)
+					n.Kids[i] = &VONode{Pruned: &d}
+				}
+			} else {
+				prune(k)
+			}
+		}
+	}
+	prune(vo.Root)
+	if _, err := Verify(vo, root, lo, hi); err == nil {
+		t.Error("withheld results accepted: completeness check failed to fire")
+	}
+}
+
+func TestVerifyRejectsReordered(t *testing.T) {
+	tree := Build(recs(64), 8)
+	root := tree.Root()
+	vo := tree.RangeVO(types.Int(0), types.Int(126)) // whole tree exposed
+	// Swap two records inside one leaf; digest changes, so this is caught
+	// by the root check.
+	var swap func(n *VONode) bool
+	swap = func(n *VONode) bool {
+		if len(n.Entries) >= 2 && n.Entries[0].Rec != nil && n.Entries[1].Rec != nil {
+			n.Entries[0], n.Entries[1] = n.Entries[1], n.Entries[0]
+			return true
+		}
+		for _, k := range n.Kids {
+			if swap(k) {
+				return true
+			}
+		}
+		return false
+	}
+	if !swap(vo.Root) {
+		t.Fatal("nothing to swap")
+	}
+	if _, err := Verify(vo, root, types.Int(0), types.Int(126)); err == nil {
+		t.Error("reordered VO accepted")
+	}
+}
+
+func TestVOEncodeDecodeRoundTrip(t *testing.T) {
+	tree := Build(recs(200), 8)
+	vo := tree.RangeVO(types.Int(50), types.Int(90))
+	buf := vo.Encode()
+	if vo.Size() != len(buf) {
+		t.Error("Size != len(Encode)")
+	}
+	got, err := DecodeVO(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(got, tree.Root(), types.Int(50), types.Int(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rangeWant(recs(200), types.Int(50), types.Int(90))
+	if !EqualRecords(res, want) {
+		t.Error("decoded VO verified to different records")
+	}
+	// Truncations must fail cleanly.
+	for _, cut := range []int{0, 1, len(buf) / 2, len(buf) - 1} {
+		if _, err := DecodeVO(buf[:cut]); err == nil {
+			t.Errorf("truncated VO at %d decoded", cut)
+		}
+	}
+}
+
+func TestVOSizeGrowsSublinearly(t *testing.T) {
+	// A selective VO must be far smaller than shipping the whole tree.
+	rs := recs(10000)
+	tree := Build(rs, 100)
+	narrow := tree.RangeVO(types.Int(5000), types.Int(5020)).Size()
+	full := tree.RangeVO(types.Int(-1), types.Int(1<<30)).Size()
+	if narrow*10 > full {
+		t.Errorf("narrow VO (%d) not much smaller than full (%d)", narrow, full)
+	}
+}
+
+func TestDuplicateKeysVO(t *testing.T) {
+	var rs []Record
+	for i := 0; i < 60; i++ {
+		rs = append(rs, Record{Key: types.Str("org1"), Payload: []byte(fmt.Sprintf("p%d", i))})
+	}
+	rs = append(rs, Record{Key: types.Str("aaa"), Payload: []byte("low")})
+	rs = append(rs, Record{Key: types.Str("zzz"), Payload: []byte("high")})
+	tree := Build(rs, 8)
+	vo := tree.RangeVO(types.Str("org1"), types.Str("org1"))
+	got, err := Verify(vo, tree.Root(), types.Str("org1"), types.Str("org1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Errorf("duplicate-key VO returned %d of 60", len(got))
+	}
+}
+
+func TestQuickRandomRanges(t *testing.T) {
+	rs := recs(256)
+	tree := Build(rs, 16)
+	root := tree.Root()
+	f := func(a, b int16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		vo := tree.RangeVO(types.Int(lo), types.Int(hi))
+		got, err := Verify(vo, root, types.Int(lo), types.Int(hi))
+		if err != nil {
+			return false
+		}
+		return EqualRecords(got, rangeWant(rs, types.Int(lo), types.Int(hi)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,364 @@
+package mbtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"sebdb/internal/types"
+)
+
+// LeafEntry is one slot of an exposed leaf: either the full record
+// (for entries in the extended query range) or just its digest (for
+// the leaf's out-of-range entries, which the client needs only to
+// recompute the leaf hash).
+type LeafEntry struct {
+	Rec    *Record
+	Digest *Hash
+}
+
+// VONode is one node of a verification object: either a pruned subtree
+// (digest only), an exposed leaf, or an inner node whose children are
+// themselves VO nodes.
+type VONode struct {
+	// Pruned is non-nil for a pruned subtree.
+	Pruned *Hash
+	// Entries holds an exposed leaf's slots.
+	Entries []LeafEntry
+	// Kids holds the children of an exposed inner node.
+	Kids []*VONode
+	// Leaf distinguishes an exposed empty leaf from an inner node;
+	// only relevant for the degenerate empty tree.
+	Leaf bool
+}
+
+// VO is the verification object for one range query against one
+// MB-tree. The client reconstructs the root digest from it and checks
+// soundness and completeness of the in-range records.
+type VO struct {
+	Root *VONode
+}
+
+// RangeVO answers [lo, hi] with a verification object. Exposed leaves
+// cover the extended range (including boundary records); everything
+// else is pruned to digests.
+func (t *Tree) RangeVO(lo, hi types.Value) *VO {
+	exLo, exHi := t.boundaries(lo, hi)
+	var build func(n *node) *VONode
+	build = func(n *node) *VONode {
+		if t.size > 0 &&
+			(types.Compare(n.max, exLo) < 0 || types.Compare(n.min, exHi) > 0) {
+			d := n.digest
+			return &VONode{Pruned: &d}
+		}
+		if n.leaf {
+			out := &VONode{Leaf: true, Entries: make([]LeafEntry, len(n.recs))}
+			for i := range n.recs {
+				if types.Compare(n.recs[i].Key, exLo) >= 0 &&
+					types.Compare(n.recs[i].Key, exHi) <= 0 {
+					out.Entries[i].Rec = &n.recs[i]
+				} else {
+					d := recordHash(n.recs[i])
+					out.Entries[i].Digest = &d
+				}
+			}
+			return out
+		}
+		out := &VONode{Kids: make([]*VONode, len(n.kids))}
+		for i, k := range n.kids {
+			out.Kids[i] = build(k)
+		}
+		return out
+	}
+	return &VO{Root: build(t.root)}
+}
+
+// ErrVerify is the base error for all verification failures.
+var ErrVerify = errors.New("mbtree: verification failed")
+
+// Verify checks a VO against a trusted root digest for the query range
+// [lo, hi]. On success it returns the in-range records, guaranteed
+// sound (they hash into the root) and complete (boundary records or the
+// VO shape prove no in-range record was withheld).
+func Verify(vo *VO, root Hash, lo, hi types.Value) ([]Record, error) {
+	got, recs, err := Reconstruct(vo, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if got != root {
+		return nil, fmt.Errorf("%w: root digest mismatch", ErrVerify)
+	}
+	return recs, nil
+}
+
+// Reconstruct rebuilds the root digest a VO commits to and returns it
+// together with the in-range records, after checking the VO's internal
+// consistency (ordering and completeness). SEBDB's two-phase thin-client
+// protocol (paper §VI) uses this directly: the client reconstructs each
+// block's MB-root from its VO, hashes the roots into a digest, and
+// compares that digest against the answers of sampled auxiliary nodes
+// instead of holding a trusted per-block root.
+func Reconstruct(vo *VO, lo, hi types.Value) (Hash, []Record, error) {
+	if vo == nil || vo.Root == nil {
+		return Hash{}, nil, fmt.Errorf("%w: empty VO", ErrVerify)
+	}
+	// Flatten the VO in order, recomputing digests bottom-up.
+	type item struct {
+		rec    *Record
+		pruned bool
+	}
+	var seq []item
+	var rebuild func(n *VONode) (Hash, error)
+	rebuild = func(n *VONode) (Hash, error) {
+		switch {
+		case n.Pruned != nil:
+			seq = append(seq, item{pruned: true})
+			return *n.Pruned, nil
+		case n.Kids != nil:
+			hs := make([]Hash, len(n.Kids))
+			for i, k := range n.Kids {
+				h, err := rebuild(k)
+				if err != nil {
+					return Hash{}, err
+				}
+				hs[i] = h
+			}
+			return innerHash(hs), nil
+		case n.Leaf || n.Entries != nil:
+			hs := make([]Hash, len(n.Entries))
+			for i := range n.Entries {
+				switch {
+				case n.Entries[i].Rec != nil:
+					hs[i] = recordHash(*n.Entries[i].Rec)
+					seq = append(seq, item{rec: n.Entries[i].Rec})
+				case n.Entries[i].Digest != nil:
+					// A hidden entry could conceal anything; for the
+					// completeness reasoning it behaves like a pruned
+					// subtree.
+					hs[i] = *n.Entries[i].Digest
+					seq = append(seq, item{pruned: true})
+				default:
+					return Hash{}, fmt.Errorf("%w: empty leaf entry", ErrVerify)
+				}
+			}
+			return leafHash(hs), nil
+		default:
+			return Hash{}, fmt.Errorf("%w: malformed VO node", ErrVerify)
+		}
+	}
+	got, err := rebuild(vo.Root)
+	if err != nil {
+		return Hash{}, nil, err
+	}
+
+	// Exposed records must be sorted — otherwise the structure is not
+	// the tree the root commits to (the builder sorts) and range
+	// reasoning below would be unsound.
+	var prev *Record
+	for _, it := range seq {
+		if it.rec == nil {
+			continue
+		}
+		if prev != nil && types.Compare(prev.Key, it.rec.Key) > 0 {
+			return Hash{}, nil, fmt.Errorf("%w: exposed records out of order", ErrVerify)
+		}
+		prev = it.rec
+	}
+
+	// Collect results and check completeness: no pruned subtree may sit
+	// between the query range and an exposed boundary record. Concretely,
+	// scanning in order, every pruned node must be (a) before an exposed
+	// record with key < lo, or (b) after an exposed record with key > hi.
+	var results []Record
+	firstExposedGE := -1 // index in seq of first exposed record with key >= lo
+	lastExposedLE := -1  // index in seq of last exposed record with key <= hi
+	for i, it := range seq {
+		if it.rec == nil {
+			continue
+		}
+		if types.Compare(it.rec.Key, lo) >= 0 && firstExposedGE == -1 {
+			firstExposedGE = i
+		}
+		if types.Compare(it.rec.Key, hi) <= 0 {
+			lastExposedLE = i
+		}
+		if types.Compare(it.rec.Key, lo) >= 0 && types.Compare(it.rec.Key, hi) <= 0 {
+			results = append(results, *it.rec)
+		}
+	}
+
+	// Left completeness: any pruned node before firstExposedGE must be
+	// separated from the range by a boundary record (< lo).
+	sawBoundary := false
+	for i, it := range seq {
+		if firstExposedGE != -1 && i >= firstExposedGE {
+			break
+		}
+		if it.rec != nil && types.Compare(it.rec.Key, lo) < 0 {
+			sawBoundary = true
+		}
+	}
+	if !sawBoundary {
+		// No left boundary: then nothing may be pruned left of the range.
+		for i, it := range seq {
+			if firstExposedGE != -1 && i >= firstExposedGE {
+				break
+			}
+			if it.pruned {
+				return Hash{}, nil, fmt.Errorf("%w: left completeness violated", ErrVerify)
+			}
+		}
+	}
+	// Right completeness, symmetric.
+	sawBoundary = false
+	for i := len(seq) - 1; i >= 0; i-- {
+		if lastExposedLE != -1 && i <= lastExposedLE {
+			break
+		}
+		if seq[i].rec != nil && types.Compare(seq[i].rec.Key, hi) > 0 {
+			sawBoundary = true
+		}
+	}
+	if !sawBoundary {
+		for i := len(seq) - 1; i >= 0; i-- {
+			if lastExposedLE != -1 && i <= lastExposedLE {
+				break
+			}
+			if seq[i].pruned {
+				return Hash{}, nil, fmt.Errorf("%w: right completeness violated", ErrVerify)
+			}
+		}
+	}
+	return got, results, nil
+}
+
+// Encode serialises the VO; its length is the paper's "VO size" metric.
+func (vo *VO) Encode() []byte {
+	e := types.NewEncoder(256)
+	var enc func(n *VONode)
+	enc = func(n *VONode) {
+		switch {
+		case n.Pruned != nil:
+			e.Uint8(0)
+			e.Bytes32(*n.Pruned)
+		case n.Kids != nil:
+			e.Uint8(1)
+			e.Uint32(uint32(len(n.Kids)))
+			for _, k := range n.Kids {
+				enc(k)
+			}
+		default:
+			e.Uint8(2)
+			e.Uint32(uint32(len(n.Entries)))
+			for _, le := range n.Entries {
+				if le.Rec != nil {
+					e.Uint8(1)
+					e.Value(le.Rec.Key)
+					e.Blob(le.Rec.Payload)
+				} else {
+					e.Uint8(0)
+					e.Bytes32(*le.Digest)
+				}
+			}
+		}
+	}
+	enc(vo.Root)
+	return e.Bytes()
+}
+
+// Size returns the encoded VO size in bytes.
+func (vo *VO) Size() int { return len(vo.Encode()) }
+
+// DecodeVO parses an encoded VO.
+func DecodeVO(buf []byte) (*VO, error) {
+	d := types.NewDecoder(buf)
+	var dec func(depth int) (*VONode, error)
+	dec = func(depth int) (*VONode, error) {
+		if depth > 64 {
+			return nil, fmt.Errorf("%w: VO too deep", types.ErrCorrupt)
+		}
+		tag, err := d.Uint8()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case 0:
+			h, err := d.Bytes32()
+			if err != nil {
+				return nil, err
+			}
+			return &VONode{Pruned: &h}, nil
+		case 1:
+			n, err := d.Uint32()
+			if err != nil {
+				return nil, err
+			}
+			if int(n) > d.Remaining() {
+				return nil, types.ErrCorrupt
+			}
+			out := &VONode{Kids: make([]*VONode, n)}
+			for i := range out.Kids {
+				if out.Kids[i], err = dec(depth + 1); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		case 2:
+			n, err := d.Uint32()
+			if err != nil {
+				return nil, err
+			}
+			if int(n) > d.Remaining() {
+				return nil, types.ErrCorrupt
+			}
+			out := &VONode{Leaf: true, Entries: make([]LeafEntry, n)}
+			for i := range out.Entries {
+				tag, err := d.Uint8()
+				if err != nil {
+					return nil, err
+				}
+				if tag == 1 {
+					r := &Record{}
+					if r.Key, err = d.Value(); err != nil {
+						return nil, err
+					}
+					if r.Payload, err = d.Blob(); err != nil {
+						return nil, err
+					}
+					out.Entries[i].Rec = r
+				} else {
+					h, err := d.Bytes32()
+					if err != nil {
+						return nil, err
+					}
+					out.Entries[i].Digest = &h
+				}
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("%w: VO tag %d", types.ErrCorrupt, tag)
+		}
+	}
+	root, err := dec(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() != 0 {
+		return nil, types.ErrCorrupt
+	}
+	return &VO{Root: root}, nil
+}
+
+// EqualRecords reports whether two record slices are identical; a test
+// and client-side helper.
+func EqualRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}

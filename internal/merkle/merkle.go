@@ -1,0 +1,129 @@
+// Package merkle implements the Merkle hash tree used for each block's
+// transaction root (transRoot) and for membership proofs checked by thin
+// clients (paper §IV-A, §VI).
+//
+// The tree is built over SHA-256 leaf digests. An odd node at any level
+// is promoted unchanged (Bitcoin-style duplication would let two
+// different transaction sets share a root; promotion does not).
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+)
+
+// Hash is a 32-byte SHA-256 digest.
+type Hash = [32]byte
+
+// hashPair combines two child digests with a domain-separation prefix so
+// interior nodes can never be confused with leaves.
+func hashPair(l, r Hash) Hash {
+	var buf [65]byte
+	buf[0] = 0x01
+	copy(buf[1:33], l[:])
+	copy(buf[33:65], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+// HashLeaf computes the leaf digest of raw data, domain-separated from
+// interior nodes.
+func HashLeaf(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Root computes the Merkle root of the given leaf digests. The root of
+// zero leaves is the all-zero hash; of one leaf, the leaf itself.
+func Root(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[: 0 : len(level)/2+1]
+		next = next[:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, hashPair(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	// Sibling is the digest combined with the running hash at this level.
+	Sibling Hash
+	// Left reports whether Sibling is the left operand of the pair.
+	Left bool
+}
+
+// Proof is a Merkle membership proof for a single leaf.
+type Proof struct {
+	// Index is the leaf position the proof was generated for.
+	Index int
+	// Steps lists the siblings bottom-up.
+	Steps []ProofStep
+}
+
+// ErrBadIndex is returned by Prove for an out-of-range leaf index.
+var ErrBadIndex = errors.New("merkle: leaf index out of range")
+
+// Prove builds a membership proof for leaves[index].
+func Prove(leaves []Hash, index int) (Proof, error) {
+	if index < 0 || index >= len(leaves) {
+		return Proof{}, ErrBadIndex
+	}
+	p := Proof{Index: index}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	pos := index
+	for len(level) > 1 {
+		var next []Hash
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, hashPair(level[i], level[i+1]))
+		}
+		odd := len(level)%2 == 1
+		if odd {
+			next = append(next, level[len(level)-1])
+		}
+		if odd && pos == len(level)-1 {
+			// Promoted unchanged: no sibling at this level.
+			pos = len(next) - 1
+		} else if pos%2 == 0 {
+			p.Steps = append(p.Steps, ProofStep{Sibling: level[pos+1], Left: false})
+			pos /= 2
+		} else {
+			p.Steps = append(p.Steps, ProofStep{Sibling: level[pos-1], Left: true})
+			pos /= 2
+		}
+		level = next
+	}
+	return p, nil
+}
+
+// Verify replays the proof from the given leaf digest and reports
+// whether it reproduces root.
+func Verify(leaf Hash, p Proof, root Hash) bool {
+	h := leaf
+	for _, s := range p.Steps {
+		if s.Left {
+			h = hashPair(s.Sibling, h)
+		} else {
+			h = hashPair(h, s.Sibling)
+		}
+	}
+	return h == root
+}
+
+// Size reports the byte size of a proof, used for VO-size accounting in
+// the authenticated-query benchmarks.
+func (p Proof) Size() int { return 8 + len(p.Steps)*33 }

@@ -1,0 +1,130 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = sha256.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return out
+}
+
+func TestRootEmptyAndSingle(t *testing.T) {
+	if Root(nil) != (Hash{}) {
+		t.Error("empty root must be zero")
+	}
+	ls := leaves(1)
+	if Root(ls) != ls[0] {
+		t.Error("single-leaf root must be the leaf")
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	ls := leaves(8)
+	r := Root(ls)
+	// Any change to any leaf changes the root.
+	for i := range ls {
+		mod := leaves(8)
+		mod[i] = sha256.Sum256([]byte("evil"))
+		if Root(mod) == r {
+			t.Errorf("modifying leaf %d did not change root", i)
+		}
+	}
+	// Reordering changes the root.
+	mod := leaves(8)
+	mod[0], mod[1] = mod[1], mod[0]
+	if Root(mod) == r {
+		t.Error("reordering leaves did not change root")
+	}
+	// Truncation changes the root (promotion, not duplication).
+	if Root(leaves(7)) == Root(leaves(8)) {
+		t.Error("7 and 8 leaves must differ")
+	}
+}
+
+func TestOddPromotionDistinctFromDuplication(t *testing.T) {
+	// With Bitcoin-style duplication, [a,b,c] and [a,b,c,c] collide.
+	ls3 := leaves(3)
+	ls4 := append(leaves(3), ls3[2])
+	if Root(ls3) == Root(ls4) {
+		t.Error("promotion must not collide with duplicated last leaf")
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		root := Root(ls)
+		for i := 0; i < n; i++ {
+			p, err := Prove(ls, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !Verify(ls[i], p, root) {
+				t.Errorf("n=%d i=%d: proof does not verify", n, i)
+			}
+			// Wrong leaf must not verify.
+			if Verify(sha256.Sum256([]byte("bogus")), p, root) {
+				t.Errorf("n=%d i=%d: bogus leaf verified", n, i)
+			}
+		}
+	}
+}
+
+func TestProveBadIndex(t *testing.T) {
+	ls := leaves(4)
+	if _, err := Prove(ls, -1); err != ErrBadIndex {
+		t.Error("negative index must fail")
+	}
+	if _, err := Prove(ls, 4); err != ErrBadIndex {
+		t.Error("overflow index must fail")
+	}
+}
+
+func TestProofTamperedStepFails(t *testing.T) {
+	ls := leaves(16)
+	root := Root(ls)
+	p, _ := Prove(ls, 5)
+	p.Steps[1].Sibling[0] ^= 0xFF
+	if Verify(ls[5], p, root) {
+		t.Error("tampered proof verified")
+	}
+}
+
+func TestHashLeafDomainSeparation(t *testing.T) {
+	// An interior node's input begins with 0x01; a leaf's with 0x00, so a
+	// 64-byte data blob cannot be confused with a pair of children.
+	if HashLeaf([]byte("x")) == sha256.Sum256([]byte("x")) {
+		t.Error("leaf hash must be domain separated from plain sha256")
+	}
+}
+
+func TestRootMatchesProofQuick(t *testing.T) {
+	f := func(seed uint8, idx uint8) bool {
+		n := int(seed%40) + 1
+		i := int(idx) % n
+		ls := leaves(n)
+		p, err := Prove(ls, i)
+		if err != nil {
+			return false
+		}
+		return Verify(ls[i], p, Root(ls))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProofSize(t *testing.T) {
+	ls := leaves(8)
+	p, _ := Prove(ls, 0)
+	if p.Size() != 8+3*33 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}

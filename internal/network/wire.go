@@ -1,0 +1,192 @@
+// Package network provides SEBDB's network layer (paper §III-B): a
+// small length-prefixed request/response wire protocol over TCP, and a
+// gossip component for block propagation and data recovery —
+// anti-entropy rounds against random peers, as used both by distributed
+// databases and by blockchains.
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Frame kinds of the wire protocol.
+const (
+	KindHeight     uint8 = 1 // req: empty            resp: uint64 height
+	KindBlock      uint8 = 2 // req: uint64 height    resp: encoded block
+	KindHeaders    uint8 = 3 // req: uint64 from      resp: count + headers
+	KindAuthQuery  uint8 = 4 // req/resp: auth payloads (node package)
+	KindAuthDigest uint8 = 5
+	KindSQL        uint8 = 6 // req: sql string       resp: encoded result
+	KindError      uint8 = 0xFF
+)
+
+// MaxFrame bounds a frame to 64 MiB; larger frames indicate corruption
+// or abuse.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one kind-tagged, length-prefixed frame.
+func WriteFrame(w io.Writer, kind uint8, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("network: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (kind uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("network: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Handler answers one request frame.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches inbound frames to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[uint8]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[uint8]Handler), closed: make(chan struct{})}
+}
+
+// Handle registers the handler for a frame kind.
+func (s *Server) Handle(kind uint8, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[kind] = h
+}
+
+// Serve accepts connections on ln until Close. Each connection carries
+// a sequence of request/response frame pairs.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		kind, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[kind]
+		s.mu.RUnlock()
+		var resp []byte
+		var herr error
+		if !ok {
+			herr = fmt.Errorf("network: no handler for kind %d", kind)
+		} else {
+			resp, herr = h(payload)
+		}
+		if herr != nil {
+			if WriteFrame(conn, KindError, []byte(herr.Error())) != nil {
+				return
+			}
+			continue
+		}
+		if WriteFrame(conn, kind, resp) != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() {
+	close(s.closed)
+	s.mu.RLock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.RUnlock()
+	s.wg.Wait()
+}
+
+// Client is a single-connection request/response client. It is safe for
+// concurrent use; requests are serialised on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Call sends one request and awaits its response.
+func (c *Client) Call(kind uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, kind, payload); err != nil {
+		return nil, err
+	}
+	k, resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if k == KindError {
+		return nil, errors.New(string(resp))
+	}
+	if k != kind {
+		return nil, fmt.Errorf("network: response kind %d for request %d", k, kind)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,279 @@
+// Package node assembles a SEBDB full node: the core engine, the gossip
+// component for block propagation, and a TCP service answering peers
+// (height/block/header sync) and thin clients (SQL and the two-phase
+// authenticated query protocol of §VI).
+package node
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"sebdb/internal/auth"
+	"sebdb/internal/core"
+	"sebdb/internal/index/bitmap"
+	"sebdb/internal/network"
+	"sebdb/internal/types"
+)
+
+// FullNode is one SEBDB participant.
+type FullNode struct {
+	Engine   *core.Engine
+	Gossip   *network.Gossiper
+	server   *network.Server
+	listener net.Listener
+}
+
+// New wraps an engine as a full node.
+func New(engine *core.Engine) *FullNode {
+	n := &FullNode{Engine: engine}
+	n.Gossip = network.NewGossiper(engine, 100*time.Millisecond)
+	n.server = network.NewServer()
+	n.server.Handle(network.KindHeight, n.handleHeight)
+	n.server.Handle(network.KindBlock, n.handleBlock)
+	n.server.Handle(network.KindHeaders, n.handleHeaders)
+	n.server.Handle(network.KindAuthQuery, n.handleAuthQuery)
+	n.server.Handle(network.KindAuthDigest, n.handleAuthDigest)
+	n.server.Handle(network.KindSQL, n.handleSQL)
+	return n
+}
+
+// Serve starts answering on addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (n *FullNode) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.listener = ln
+	go n.server.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops serving and gossiping.
+func (n *FullNode) Close() {
+	if n.Gossip != nil {
+		n.Gossip.Stop()
+	}
+	if n.listener != nil {
+		n.server.Close()
+	}
+}
+
+func (n *FullNode) handleHeight([]byte) ([]byte, error) {
+	e := types.NewEncoder(8)
+	e.Uint64(n.Engine.Height())
+	return e.Bytes(), nil
+}
+
+func (n *FullNode) handleBlock(payload []byte) ([]byte, error) {
+	h, err := types.NewDecoder(payload).Uint64()
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.Engine.Block(h)
+	if err != nil {
+		return nil, err
+	}
+	return b.EncodeBytes(), nil
+}
+
+func (n *FullNode) handleHeaders(payload []byte) ([]byte, error) {
+	from, err := types.NewDecoder(payload).Uint64()
+	if err != nil {
+		return nil, err
+	}
+	hs := n.Engine.Headers()
+	if from > uint64(len(hs)) {
+		from = uint64(len(hs))
+	}
+	hs = hs[from:]
+	e := types.NewEncoder(64 * len(hs))
+	e.Uint32(uint32(len(hs)))
+	for i := range hs {
+		hs[i].Encode(e)
+	}
+	return e.Bytes(), nil
+}
+
+// AuthRequest is the wire form of a §VI phase-one/phase-two query.
+type AuthRequest struct {
+	// Table and Col name the ALI ("" table = system column).
+	Table, Col string
+	// Lo and Hi bound the range (equal for point/tracking queries).
+	Lo, Hi types.Value
+	// WinStart/WinEnd restrict blocks by time; both zero = no window.
+	WinStart, WinEnd int64
+	// Height pins the snapshot for phase two; zero = server's height.
+	Height uint64
+}
+
+func (r *AuthRequest) encode() []byte {
+	e := types.NewEncoder(128)
+	e.Str(r.Table)
+	e.Str(r.Col)
+	e.Value(r.Lo)
+	e.Value(r.Hi)
+	e.Int64(r.WinStart)
+	e.Int64(r.WinEnd)
+	e.Uint64(r.Height)
+	return e.Bytes()
+}
+
+func decodeAuthRequest(buf []byte) (*AuthRequest, error) {
+	d := types.NewDecoder(buf)
+	r := &AuthRequest{}
+	var err error
+	if r.Table, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Col, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Lo, err = d.Value(); err != nil {
+		return nil, err
+	}
+	if r.Hi, err = d.Value(); err != nil {
+		return nil, err
+	}
+	if r.WinStart, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	if r.WinEnd, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	if r.Height, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// resolve returns the ALI, eligible-block bitmap and snapshot height of
+// a request.
+func (n *FullNode) resolve(r *AuthRequest) (*auth.ALI, *bitmap.Bitmap, uint64, error) {
+	ali := n.Engine.AuthIndex(r.Table, r.Col)
+	if ali == nil {
+		return nil, nil, 0, fmt.Errorf("node: no authenticated index on %q.%q", r.Table, r.Col)
+	}
+	var eligible *bitmap.Bitmap
+	if r.WinStart != 0 || r.WinEnd != 0 {
+		eligible = n.Engine.BlockIdx().TimeWindow(r.WinStart, r.WinEnd)
+	}
+	height := r.Height
+	if height == 0 {
+		height = n.Engine.Height()
+	}
+	return ali, eligible, height, nil
+}
+
+func (n *FullNode) handleAuthQuery(payload []byte) ([]byte, error) {
+	r, err := decodeAuthRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	ali, eligible, height, err := n.resolve(r)
+	if err != nil {
+		return nil, err
+	}
+	ans := auth.Serve(ali, height, eligible, r.Lo, r.Hi)
+	e := types.NewEncoder(1024)
+	e.Uint64(ans.Height)
+	e.Uint32(uint32(len(ans.Blocks)))
+	for _, b := range ans.Blocks {
+		e.Uint64(b.Bid)
+		e.Blob(b.Bytes)
+	}
+	return e.Bytes(), nil
+}
+
+func decodeAnswer(buf []byte) (*auth.Answer, error) {
+	d := types.NewDecoder(buf)
+	ans := &auth.Answer{}
+	var err error
+	if ans.Height, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	cnt, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(cnt) > d.Remaining() {
+		return nil, types.ErrCorrupt
+	}
+	for i := uint32(0); i < cnt; i++ {
+		var b auth.BlockVO
+		if b.Bid, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if b.Bytes, err = d.Blob(); err != nil {
+			return nil, err
+		}
+		ans.Blocks = append(ans.Blocks, b)
+	}
+	return ans, nil
+}
+
+func (n *FullNode) handleAuthDigest(payload []byte) ([]byte, error) {
+	r, err := decodeAuthRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	ali, eligible, height, err := n.resolve(r)
+	if err != nil {
+		return nil, err
+	}
+	d := auth.Digest(ali, height, eligible, r.Lo, r.Hi)
+	return d[:], nil
+}
+
+func (n *FullNode) handleSQL(payload []byte) ([]byte, error) {
+	res, err := n.Engine.Execute(string(payload))
+	if err != nil {
+		return nil, err
+	}
+	e := types.NewEncoder(1024)
+	e.Uint32(uint32(len(res.Columns)))
+	for _, c := range res.Columns {
+		e.Str(c)
+	}
+	e.Uint32(uint32(len(res.Rows)))
+	for _, row := range res.Rows {
+		e.Values(row)
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeResult parses the SQL response payload back into a result.
+func DecodeResult(buf []byte) (*core.Result, error) {
+	d := types.NewDecoder(buf)
+	nc, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nc) > d.Remaining() {
+		return nil, types.ErrCorrupt
+	}
+	res := &core.Result{}
+	for i := uint32(0); i < nc; i++ {
+		c, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = append(res.Columns, c)
+	}
+	nr, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nr) > d.Remaining() {
+		return nil, types.ErrCorrupt
+	}
+	for i := uint32(0); i < nr; i++ {
+		row, err := d.Values()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+// Package plan implements SEBDB's access-path selection using the cost
+// model of paper §IV-B (Equations 1-3): a full scan touches every block
+// in the chain, the table-level bitmap index touches only the k blocks
+// holding rows of the queried table, and the layered index performs one
+// random access per resulting tuple. Which wins depends on the tuple
+// distribution and predicate selectivity, so the planner compares the
+// three estimated costs and picks the cheapest available path.
+package plan
+
+import (
+	"sebdb/internal/exec"
+)
+
+// CostModel carries the device and layout parameters of Equations 1-3.
+type CostModel struct {
+	// TS is the average disk seek (block-access) time, t_S.
+	TS float64
+	// TT is the transfer time per disk block, t_T.
+	TT float64
+	// BlockBytes is f, the size of a packaged blockchain block.
+	BlockBytes float64
+	// DiskBlock is b, the size of a disk block.
+	DiskBlock float64
+}
+
+// DefaultCostModel uses magnetic-disk-flavoured constants (4 ms seek,
+// 0.1 ms per 4 KB transfer) and the paper's 4 MB chain blocks. Only the
+// ratios matter for path selection.
+func DefaultCostModel() CostModel {
+	return CostModel{TS: 4.0, TT: 0.1, BlockBytes: 4 << 20, DiskBlock: 4 << 10}
+}
+
+// Scan is Equation 1: C = n*t_S + (f*n/b)*t_T for a chain of n blocks.
+func (c CostModel) Scan(n int) float64 {
+	return float64(n)*c.TS + c.BlockBytes*float64(n)/c.DiskBlock*c.TT
+}
+
+// Bitmap is Equation 2: the same shape over only the k <= n blocks the
+// table-level bitmap flags.
+func (c CostModel) Bitmap(k int) float64 {
+	return float64(k)*c.TS + c.BlockBytes*float64(k)/c.DiskBlock*c.TT
+}
+
+// Layered is Equation 3: one seek and one transfer per resulting tuple
+// (p random accesses through the second-level index).
+func (c CostModel) Layered(p int) float64 {
+	return float64(p)*c.TS + float64(p)*c.TT
+}
+
+// Choice is the planner's decision with its estimated costs, kept for
+// EXPLAIN-style introspection and the cost-model ablation bench.
+type Choice struct {
+	Method exec.Method
+	// CostScan, CostBitmap, CostLayered are the estimated costs of each
+	// candidate; a negative value marks an unavailable path.
+	CostScan    float64
+	CostBitmap  float64
+	CostLayered float64
+}
+
+// Choose picks the cheapest available access path given the chain
+// height n, the bitmap block count k (negative when no bitmap index
+// applies), and the estimated result size p (negative when no layered
+// index applies).
+func Choose(cm CostModel, n, k, p int) Choice {
+	ch := Choice{Method: exec.MethodScan, CostScan: cm.Scan(n), CostBitmap: -1, CostLayered: -1}
+	best := ch.CostScan
+	if k >= 0 {
+		ch.CostBitmap = cm.Bitmap(k)
+		if ch.CostBitmap <= best {
+			best = ch.CostBitmap
+			ch.Method = exec.MethodBitmap
+		}
+	}
+	if p >= 0 {
+		ch.CostLayered = cm.Layered(p)
+		if ch.CostLayered <= best {
+			ch.Method = exec.MethodLayered
+		}
+	}
+	return ch
+}

@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"testing"
+
+	"sebdb/internal/exec"
+)
+
+func TestCostEquations(t *testing.T) {
+	cm := CostModel{TS: 4, TT: 0.1, BlockBytes: 4 << 20, DiskBlock: 4 << 10}
+	// Equation 1 with n=10: 10*4 + (4MB*10/4KB)*0.1 = 40 + 1024*10*0.1.
+	want := 40 + 1024*10*0.1
+	if got := cm.Scan(10); got != want {
+		t.Errorf("Scan(10) = %g, want %g", got, want)
+	}
+	// Bitmap with k=n equals scan.
+	if cm.Bitmap(10) != cm.Scan(10) {
+		t.Error("bitmap with k=n must equal scan")
+	}
+	// Layered: p*(tS+tT).
+	if got := cm.Layered(100); got != 100*4.1 {
+		t.Errorf("Layered(100) = %g", got)
+	}
+}
+
+func TestChoosePrefersCheapest(t *testing.T) {
+	cm := DefaultCostModel()
+	// Selective query: few results, layered wins.
+	ch := Choose(cm, 1000, 500, 10)
+	if ch.Method != exec.MethodLayered {
+		t.Errorf("selective query chose %v", ch.Method)
+	}
+	// Huge result: random I/O loses, bitmap wins.
+	ch = Choose(cm, 1000, 500, 10_000_000)
+	if ch.Method != exec.MethodBitmap {
+		t.Errorf("huge result chose %v", ch.Method)
+	}
+	// Table everywhere (k=n) and huge result: scan and bitmap tie; either
+	// non-layered method is fine.
+	ch = Choose(cm, 1000, 1000, 10_000_000)
+	if ch.Method == exec.MethodLayered {
+		t.Error("huge result should not choose layered")
+	}
+	// No indexes at all.
+	ch = Choose(cm, 1000, -1, -1)
+	if ch.Method != exec.MethodScan || ch.CostBitmap >= 0 || ch.CostLayered >= 0 {
+		t.Errorf("no-index choice = %+v", ch)
+	}
+	// Only bitmap available.
+	ch = Choose(cm, 1000, 3, -1)
+	if ch.Method != exec.MethodBitmap {
+		t.Errorf("bitmap-only choice = %v", ch.Method)
+	}
+}
+
+func TestChooseCrossover(t *testing.T) {
+	// The paper: "If the size of query result is large, using table-level
+	// bitmap index may outperform layered index since random I/O is
+	// slow." Find the crossover and check monotonicity around it.
+	cm := DefaultCostModel()
+	k := 100
+	bitmapCost := cm.Bitmap(k)
+	small, large := 10, 1_000_000
+	if cm.Layered(small) >= bitmapCost {
+		t.Error("small result should favour layered")
+	}
+	if cm.Layered(large) <= bitmapCost {
+		t.Error("large result should favour bitmap")
+	}
+}

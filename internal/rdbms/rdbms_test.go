@@ -1,0 +1,204 @@
+package rdbms
+
+import (
+	"fmt"
+	"testing"
+
+	"sebdb/internal/types"
+)
+
+func donorDB(t testing.TB, n int) *DB {
+	t.Helper()
+	db := New()
+	err := db.CreateTable("donorinfo", []Column{
+		{"donor", types.KindString},
+		{"age", types.KindInt},
+		{"balance", types.KindDecimal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		err := db.Insert("donorinfo", Row{
+			types.Str(fmt.Sprintf("donor%03d", i)),
+			types.Int(int64(20 + i%50)),
+			types.Int(int64(i * 100)), // coerced to decimal
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("", []Column{{"a", types.KindInt}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := db.CreateTable("t", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if err := db.CreateTable("t", []Column{{"a", types.KindInt}, {"A", types.KindInt}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := db.CreateTable("t", []Column{{"a", types.KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("T", []Column{{"b", types.KindInt}}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if !db.HasTable("t") || db.HasTable("ghost") {
+		t.Error("HasTable misbehaves")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Tables = %v", got)
+	}
+	cols, err := db.Columns("t")
+	if err != nil || len(cols) != 1 || cols[0].Name != "a" {
+		t.Errorf("Columns = %v, %v", cols, err)
+	}
+	if _, err := db.Columns("ghost"); err == nil {
+		t.Error("Columns on missing table")
+	}
+}
+
+func TestInsertCoercionAndErrors(t *testing.T) {
+	db := donorDB(t, 3)
+	if n, _ := db.Count("donorinfo"); n != 3 {
+		t.Errorf("Count = %d", n)
+	}
+	rows, _ := db.Select("donorinfo")
+	if rows[0][2].Kind != types.KindDecimal {
+		t.Error("insert did not coerce int to decimal")
+	}
+	if err := db.Insert("ghost", Row{}); err == nil {
+		t.Error("insert into missing table")
+	}
+	if err := db.Insert("donorinfo", Row{types.Str("x")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Insert("donorinfo", Row{types.Bool(true), types.Int(1), types.Dec(1)}); err == nil {
+		t.Error("uncoercible value accepted")
+	}
+}
+
+func TestSelectWithPredicates(t *testing.T) {
+	db := donorDB(t, 100)
+	ci, err := db.ColIndex("donorinfo", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Select("donorinfo", Eq(ci, types.Int(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // ages cycle mod 50 over 100 rows
+		t.Errorf("Eq(age,25) returned %d rows", len(rows))
+	}
+	rows, _ = db.Select("donorinfo", Between(ci, types.Int(20), types.Int(24)))
+	if len(rows) != 10 {
+		t.Errorf("Between returned %d rows", len(rows))
+	}
+	// Select copies rows.
+	rows[0][0] = types.Str("mutated")
+	fresh, _ := db.Select("donorinfo")
+	if fresh[0][0] == types.Str("mutated") {
+		t.Error("Select returned aliased rows")
+	}
+}
+
+func TestSelectRangeWithAndWithoutIndex(t *testing.T) {
+	db := donorDB(t, 200)
+	noIdx, err := db.SelectRange("donorinfo", "balance", types.Dec(1000), types.Dec(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("donorinfo", "balance"); err != nil {
+		t.Fatal(err)
+	}
+	withIdx, err := db.SelectRange("donorinfo", "balance", types.Dec(1000), types.Dec(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noIdx) != len(withIdx) || len(noIdx) != 11 {
+		t.Errorf("range rows: %d scan vs %d index", len(noIdx), len(withIdx))
+	}
+	// Both must be sorted by balance.
+	for i := 1; i < len(withIdx); i++ {
+		if types.Compare(withIdx[i-1][2], withIdx[i][2]) > 0 {
+			t.Error("indexed range not sorted")
+		}
+	}
+	// Index stays maintained across inserts.
+	db.Insert("donorinfo", Row{types.Str("new"), types.Int(30), types.Dec(1500)})
+	withIdx2, _ := db.SelectRange("donorinfo", "balance", types.Dec(1000), types.Dec(2000))
+	if len(withIdx2) != 12 {
+		t.Errorf("index not maintained: %d rows", len(withIdx2))
+	}
+	if err := db.CreateIndex("donorinfo", "balance"); err != nil {
+		t.Errorf("re-creating index should be a no-op: %v", err)
+	}
+	if err := db.CreateIndex("donorinfo", "ghost"); err == nil {
+		t.Error("index on missing column")
+	}
+	if err := db.CreateIndex("ghost", "x"); err == nil {
+		t.Error("index on missing table")
+	}
+	if _, err := db.SelectRange("donorinfo", "ghost", types.Int(0), types.Int(1)); err == nil {
+		t.Error("range on missing column")
+	}
+}
+
+func TestSortedByAndMinMax(t *testing.T) {
+	db := donorDB(t, 50)
+	rows, err := db.SortedBy("donorinfo", "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("SortedBy returned %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if types.Compare(rows[i-1][2], rows[i][2]) > 0 {
+			t.Fatal("SortedBy not sorted")
+		}
+	}
+	lo, hi, ok, err := db.MinMax("donorinfo", "balance")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if lo.Float() != 0 || hi.Float() != 4900 {
+		t.Errorf("MinMax = %v..%v", lo, hi)
+	}
+	// With index the same answer comes from the tree.
+	db.CreateIndex("donorinfo", "balance")
+	lo2, hi2, _, _ := db.MinMax("donorinfo", "balance")
+	if !types.Equal(lo, lo2) || !types.Equal(hi, hi2) {
+		t.Error("indexed MinMax differs")
+	}
+	// Empty table.
+	db.CreateTable("empty", []Column{{"x", types.KindInt}})
+	if _, _, ok, _ := db.MinMax("empty", "x"); ok {
+		t.Error("empty table has MinMax")
+	}
+	if _, _, _, err := db.MinMax("donorinfo", "ghost"); err == nil {
+		t.Error("MinMax on missing column")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := donorDB(t, 100)
+	vals, err := db.Distinct("donorinfo", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 50 {
+		t.Errorf("Distinct(age) = %d values", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if types.Compare(vals[i-1], vals[i]) >= 0 {
+			t.Fatal("Distinct not strictly sorted")
+		}
+	}
+}

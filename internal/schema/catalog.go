@@ -1,0 +1,98 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sebdb/internal/types"
+)
+
+// Catalog is the node-local registry of table schemas. DDL reaches the
+// catalog in two ways: locally via CreateTable before the schema
+// transaction is packaged, and remotely via ApplyTx when a block
+// containing a MetaTable transaction is replayed.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Define registers a table. It fails if a different definition is
+// already registered under the same name; re-registering an identical
+// definition is a no-op (schema replay is idempotent).
+func (c *Catalog) Define(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.tables[t.Name]; ok {
+		if sameTable(old, t) {
+			return nil
+		}
+		return fmt.Errorf("schema: table %q already exists with a different definition", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+func sameTable(a, b *Table) bool {
+	if a.Name != b.Name || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the table named name.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("schema: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names lists the registered table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyTx inspects a replayed transaction and, if it is a schema
+// transaction, registers the table it defines. Non-schema transactions
+// are ignored. This is how DDL synchronises across nodes (§IV-A: "The
+// system sends a special transaction to synchronize schema").
+func (c *Catalog) ApplyTx(tx *types.Transaction) error {
+	if tx.Tname != MetaTable {
+		return nil
+	}
+	t, err := DecodeDDL(tx.Args)
+	if err != nil {
+		return err
+	}
+	return c.Define(t)
+}

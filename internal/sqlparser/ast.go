@@ -1,0 +1,162 @@
+package sqlparser
+
+import (
+	"sebdb/internal/schema"
+	"sebdb/internal/types"
+)
+
+// Statement is any parsed SQL-like statement.
+type Statement interface{ stmt() }
+
+// Chain identifies which side of the on/off-chain divide a table
+// reference names.
+type Chain int
+
+const (
+	// ChainDefault means the statement did not qualify the table; the
+	// engine resolves it (on-chain first, then off-chain).
+	ChainDefault Chain = iota
+	// ChainOn is an explicit onchain.<table> reference.
+	ChainOn
+	// ChainOff is an explicit offchain.<table> reference.
+	ChainOff
+)
+
+// TableRef is a possibly chain-qualified table name.
+type TableRef struct {
+	Chain Chain
+	Name  string
+}
+
+// Op is a comparison operator in a WHERE predicate.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween
+)
+
+// String renders the operator in SQL syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	default:
+		return "?"
+	}
+}
+
+// Pred is one conjunct of a WHERE clause: column <op> value, or
+// column BETWEEN Val AND Hi.
+type Pred struct {
+	Col string
+	Op  Op
+	Val types.Value
+	Hi  types.Value // BETWEEN upper bound
+}
+
+// Window is a [start, end] time restriction in Unix microseconds; End
+// zero means unbounded above.
+type Window struct {
+	Start int64
+	End   int64
+}
+
+// CreateTable is CREATE [TABLE] name (col type, ...).
+type CreateTable struct {
+	Name    string
+	Columns []schema.Column
+}
+
+func (*CreateTable) stmt() {}
+
+// Insert is INSERT INTO name [VALUES] (v1, ...). Values may contain
+// placeholders (types.Null at positions listed in Params) bound at
+// execution time.
+type Insert struct {
+	Table  string
+	Values []types.Value
+	// Params records the positions of '?' placeholders.
+	Params []int
+}
+
+func (*Insert) stmt() {}
+
+// Select is SELECT cols FROM table [WHERE preds] [WINDOW [s,e]]
+// [ORDER BY col [ASC|DESC]] [LIMIT n].
+type Select struct {
+	// Columns is nil for SELECT *.
+	Columns []string
+	// Count marks SELECT COUNT(*): only the row count is returned.
+	Count  bool
+	Table  TableRef
+	Where  []Pred
+	Window *Window
+	// OrderBy is the sort column; empty means chain order.
+	OrderBy string
+	// Desc reverses the sort.
+	Desc bool
+	// Limit caps the row count; zero means unlimited.
+	Limit int
+}
+
+func (*Select) stmt() {}
+
+// Join is SELECT * FROM left, right ON left.col = right.col — the
+// on-chain and on-off-chain join statements (Table II, Q5/Q6).
+type Join struct {
+	Left, Right       TableRef
+	LeftCol, RightCol string
+	Where             []Pred
+	Window            *Window
+}
+
+func (*Join) stmt() {}
+
+// Trace is TRACE [start,end] OPERATOR = "..." [, OPERATION = "..."] —
+// the track-trace clause (Table II, Q2/Q3). Either dimension may be
+// empty but not both.
+type Trace struct {
+	Window   *Window
+	Operator string
+	// HasOperator distinguishes OPERATOR="" from absence.
+	HasOperator  bool
+	Operation    string
+	HasOperation bool
+}
+
+func (*Trace) stmt() {}
+
+// GetBlockBy selects the lookup key of a GET BLOCK statement.
+type GetBlockBy int
+
+const (
+	ByID GetBlockBy = iota
+	ByTid
+	ByTs
+)
+
+// GetBlock is GET BLOCK ID=? | TID=? | TS=? (Table II, Q7).
+type GetBlock struct {
+	By  GetBlockBy
+	Val int64
+}
+
+func (*GetBlock) stmt() {}

@@ -1,0 +1,141 @@
+// Package sqlparser implements SEBDB's SQL-like language (paper §III-A,
+// Table II): CREATE / INSERT / SELECT with time windows, the blockchain-
+// specific TRACE clause, on-chain and on-off-chain JOINs, and GET BLOCK.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkString
+	tkNumber
+	tkPunct // ( ) , . * [ ] ; ?
+	tkOp    // = < > <= >= != <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer turns the input into tokens; keywords stay tkIdent and are
+// matched case-insensitively by the parser.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		case strings.ContainsRune("(),.*[];?", rune(c)):
+			l.toks = append(l.toks, token{tkPunct, string(c), l.pos})
+			l.pos++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.lexOp()
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tkEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{tkString, sb.String(), start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tkNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tkIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "!=", "<>":
+			l.pos++
+			if two == "<>" {
+				two = "!="
+			}
+			l.toks = append(l.toks, token{tkOp, two, start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tkOp, string(c), start})
+}

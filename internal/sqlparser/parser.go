@@ -1,0 +1,530 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sebdb/internal/schema"
+	"sebdb/internal/types"
+)
+
+// Parse parses one SQL-like statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkPunct, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (case-
+// insensitively) text; empty text matches any.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || strings.EqualFold(t.text, text))
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.peek().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(tkIdent, "create"):
+		return p.createTable()
+	case p.accept(tkIdent, "insert"):
+		return p.insert()
+	case p.accept(tkIdent, "select"):
+		return p.selectOrJoin()
+	case p.accept(tkIdent, "trace"):
+		return p.trace()
+	case p.accept(tkIdent, "get"):
+		return p.getBlock()
+	default:
+		return nil, p.errf("unknown statement %q", p.peek().text)
+	}
+}
+
+// createTable parses CREATE [TABLE] name (col type, ...).
+func (p *parser) createTable() (Statement, error) {
+	p.accept(tkIdent, "table")
+	name, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []schema.Column
+	for {
+		cn, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		kind, err := types.ParseKind(tn.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		cols = append(cols, schema.Column{Name: cn.text, Kind: kind})
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &CreateTable{Name: name.text, Columns: cols}, nil
+}
+
+// insert parses INSERT INTO name [VALUES] (v1, ...).
+func (p *parser) insert() (Statement, error) {
+	if _, err := p.expect(tkIdent, "into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tkIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkIdent, "values")
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name.text}
+	for {
+		if p.accept(tkPunct, "?") {
+			ins.Params = append(ins.Params, len(ins.Values))
+			ins.Values = append(ins.Values, types.Null)
+		} else {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			ins.Values = append(ins.Values, v)
+		}
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return ins, nil
+}
+
+// literal parses a string, number, or boolean literal.
+func (p *parser) literal() (types.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkString:
+		p.next()
+		return types.Str(t.text), nil
+	case t.kind == tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return types.Null, p.errf("bad number %q", t.text)
+			}
+			return types.Dec(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return types.Null, p.errf("bad number %q", t.text)
+		}
+		return types.Int(i), nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "true"):
+		p.next()
+		return types.Bool(true), nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "false"):
+		p.next()
+		return types.Bool(false), nil
+	case t.kind == tkIdent && strings.EqualFold(t.text, "null"):
+		p.next()
+		return types.Null, nil
+	default:
+		return types.Null, p.errf("expected literal, found %q", t.text)
+	}
+}
+
+// tableRef parses [onchain.|offchain.] name.
+func (p *parser) tableRef() (TableRef, error) {
+	id, err := p.expect(tkIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: strings.ToLower(id.text)}
+	if p.accept(tkPunct, ".") {
+		second, err := p.expect(tkIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		switch ref.Name {
+		case "onchain":
+			ref.Chain = ChainOn
+		case "offchain":
+			ref.Chain = ChainOff
+		default:
+			return TableRef{}, p.errf("unknown qualifier %q (want onchain/offchain)", ref.Name)
+		}
+		ref.Name = strings.ToLower(second.text)
+	}
+	return ref, nil
+}
+
+// selectOrJoin parses SELECT cols FROM t [, t2 ON a.x = b.y]
+// [WHERE ...] [WINDOW [s,e]].
+func (p *parser) selectOrJoin() (Statement, error) {
+	var cols []string
+	count := false
+	if p.accept(tkPunct, "*") {
+		cols = nil
+	} else if p.at(tkIdent, "count") && p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == "(" {
+		p.next() // count
+		p.next() // (
+		if _, err := p.expect(tkPunct, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		count = true
+	} else {
+		for {
+			c, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, strings.ToLower(c.text))
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tkIdent, "from"); err != nil {
+		return nil, err
+	}
+	left, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+
+	if p.accept(tkPunct, ",") {
+		// Join form.
+		right, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if cols != nil || count {
+			return nil, p.errf("join supports SELECT * only")
+		}
+		if _, err := p.expect(tkIdent, "on"); err != nil {
+			return nil, err
+		}
+		lt, lc, err := p.qualifiedCol()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkOp, "="); err != nil {
+			return nil, err
+		}
+		rt, rc, err := p.qualifiedCol()
+		if err != nil {
+			return nil, err
+		}
+		// Columns may come in either order; align to left/right tables.
+		j := &Join{Left: left, Right: right}
+		switch {
+		case lt == left.Name && rt == right.Name:
+			j.LeftCol, j.RightCol = lc, rc
+		case lt == right.Name && rt == left.Name:
+			j.LeftCol, j.RightCol = rc, lc
+		default:
+			return nil, p.errf("ON clause tables %q/%q do not match FROM tables", lt, rt)
+		}
+		if j.Where, err = p.whereOpt(); err != nil {
+			return nil, err
+		}
+		if j.Window, err = p.windowOpt(); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+
+	s := &Select{Columns: cols, Count: count, Table: left}
+	if s.Where, err = p.whereOpt(); err != nil {
+		return nil, err
+	}
+	if s.Window, err = p.windowOpt(); err != nil {
+		return nil, err
+	}
+	if err := p.orderLimitOpt(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// orderLimitOpt parses the optional ORDER BY and LIMIT suffixes.
+func (p *parser) orderLimitOpt(s *Select) error {
+	if p.accept(tkIdent, "order") {
+		if _, err := p.expect(tkIdent, "by"); err != nil {
+			return err
+		}
+		col, err := p.expect(tkIdent, "")
+		if err != nil {
+			return err
+		}
+		s.OrderBy = strings.ToLower(col.text)
+		if p.accept(tkIdent, "desc") {
+			s.Desc = true
+		} else {
+			p.accept(tkIdent, "asc")
+		}
+	}
+	if p.accept(tkIdent, "limit") {
+		n, err := p.expect(tkNumber, "")
+		if err != nil {
+			return err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return p.errf("bad LIMIT %q", n.text)
+		}
+		s.Limit = v
+	}
+	return nil
+}
+
+// qualifiedCol parses table.col (table may itself be chain-qualified,
+// e.g. onchain.distribute.donee) and returns (table, col).
+func (p *parser) qualifiedCol() (string, string, error) {
+	first, err := p.expect(tkIdent, "")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tkPunct, "."); err != nil {
+		return "", "", err
+	}
+	second, err := p.expect(tkIdent, "")
+	if err != nil {
+		return "", "", err
+	}
+	a, b := strings.ToLower(first.text), strings.ToLower(second.text)
+	if a == "onchain" || a == "offchain" {
+		if !p.accept(tkPunct, ".") {
+			return "", "", p.errf("expected .column after %s.%s", a, b)
+		}
+		third, err := p.expect(tkIdent, "")
+		if err != nil {
+			return "", "", err
+		}
+		return b, strings.ToLower(third.text), nil
+	}
+	return a, b, nil
+}
+
+// whereOpt parses an optional WHERE clause: conjuncts of col op literal
+// and col BETWEEN lo AND hi.
+func (p *parser) whereOpt() ([]Pred, error) {
+	if !p.accept(tkIdent, "where") {
+		return nil, nil
+	}
+	var preds []Pred
+	for {
+		col, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var pr Pred
+		pr.Col = strings.ToLower(col.text)
+		if p.accept(tkIdent, "between") {
+			pr.Op = OpBetween
+			if pr.Val, err = p.literal(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkIdent, "and"); err != nil {
+				return nil, err
+			}
+			if pr.Hi, err = p.literal(); err != nil {
+				return nil, err
+			}
+		} else {
+			opTok := p.peek()
+			if opTok.kind != tkOp {
+				return nil, p.errf("expected comparison operator, found %q", opTok.text)
+			}
+			p.next()
+			switch opTok.text {
+			case "=":
+				pr.Op = OpEq
+			case "!=":
+				pr.Op = OpNe
+			case "<":
+				pr.Op = OpLt
+			case "<=":
+				pr.Op = OpLe
+			case ">":
+				pr.Op = OpGt
+			case ">=":
+				pr.Op = OpGe
+			default:
+				return nil, p.errf("unsupported operator %q", opTok.text)
+			}
+			if pr.Val, err = p.literal(); err != nil {
+				return nil, err
+			}
+		}
+		preds = append(preds, pr)
+		if !p.accept(tkIdent, "and") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+// windowOpt parses an optional WINDOW [s, e] suffix. The bracket form
+// alone ([s,e]) is also accepted, matching the paper's TRACE syntax.
+func (p *parser) windowOpt() (*Window, error) {
+	p.accept(tkIdent, "window")
+	if !p.accept(tkPunct, "[") {
+		return nil, nil
+	}
+	lo, err := p.expect(tkNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, ","); err != nil {
+		return nil, err
+	}
+	hi, err := p.expect(tkNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "]"); err != nil {
+		return nil, err
+	}
+	s, err1 := strconv.ParseInt(lo.text, 10, 64)
+	e, err2 := strconv.ParseInt(hi.text, 10, 64)
+	if err1 != nil || err2 != nil {
+		return nil, p.errf("bad window bounds")
+	}
+	return &Window{Start: s, End: e}, nil
+}
+
+// trace parses TRACE [s,e] OPERATOR = "x" [,|AND] OPERATION = "y".
+func (p *parser) trace() (Statement, error) {
+	t := &Trace{}
+	var err error
+	if t.Window, err = p.windowOpt(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkIdent, "operator"):
+			if _, err := p.expect(tkOp, "="); err != nil {
+				return nil, err
+			}
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			t.Operator, t.HasOperator = v.S, true
+		case p.accept(tkIdent, "operation"):
+			if _, err := p.expect(tkOp, "="); err != nil {
+				return nil, err
+			}
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			t.Operation, t.HasOperation = v.S, true
+		default:
+			if !t.HasOperator && !t.HasOperation {
+				return nil, p.errf("TRACE needs OPERATOR and/or OPERATION")
+			}
+			return t, nil
+		}
+		if p.accept(tkPunct, ",") || p.accept(tkIdent, "and") {
+			continue
+		}
+	}
+}
+
+// getBlock parses GET BLOCK ID=? | TID=? | TS=?.
+func (p *parser) getBlock() (Statement, error) {
+	if _, err := p.expect(tkIdent, "block"); err != nil {
+		return nil, err
+	}
+	g := &GetBlock{}
+	switch {
+	case p.accept(tkIdent, "id"):
+		g.By = ByID
+	case p.accept(tkIdent, "tid"):
+		g.By = ByTid
+	case p.accept(tkIdent, "ts"):
+		g.By = ByTs
+	default:
+		return nil, p.errf("GET BLOCK needs ID, TID or TS")
+	}
+	if _, err := p.expect(tkOp, "="); err != nil {
+		return nil, err
+	}
+	n, err := p.expect(tkNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseInt(n.text, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad block key %q", n.text)
+	}
+	g.Val = v
+	return g, nil
+}

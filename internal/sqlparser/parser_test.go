@@ -1,0 +1,256 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"sebdb/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseCreate(t *testing.T) {
+	st := mustParse(t, `CREATE Donate ( donor string, project string, amount decimal)`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "Donate" || len(ct.Columns) != 3 {
+		t.Errorf("parsed %+v", ct)
+	}
+	if ct.Columns[2].Name != "amount" || ct.Columns[2].Kind != types.KindDecimal {
+		t.Errorf("column 2 = %+v", ct.Columns[2])
+	}
+	// CREATE TABLE variant and trailing semicolon.
+	st = mustParse(t, `create table t (a int);`)
+	if st.(*CreateTable).Name != "t" {
+		t.Error("CREATE TABLE variant failed")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `INSERT into Donate VALUES("Jack", "Education", 100)`)
+	ins := st.(*Insert)
+	if ins.Table != "Donate" || len(ins.Values) != 3 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	if ins.Values[0] != types.Str("Jack") || ins.Values[2] != types.Int(100) {
+		t.Errorf("values = %v", ins.Values)
+	}
+	// The paper's Example-1 syntax omits VALUES.
+	st = mustParse(t, `INSERT into Donate ("Jack", "Education", 100.5)`)
+	if v := st.(*Insert).Values[2]; v != types.Dec(100.5) {
+		t.Errorf("decimal literal = %v", v)
+	}
+	// Placeholders (Table II Q1: INSERT INTO donate VALUES(?,?,?)).
+	st = mustParse(t, `INSERT INTO donate VALUES(?,?,?)`)
+	ins = st.(*Insert)
+	if len(ins.Params) != 3 || ins.Params[1] != 1 {
+		t.Errorf("params = %v", ins.Params)
+	}
+	// Booleans, null, negative numbers.
+	st = mustParse(t, `INSERT INTO t (true, false, null, -5)`)
+	vs := st.(*Insert).Values
+	if !vs[0].AsBool() || vs[1].AsBool() || !vs[2].IsNull() || vs[3] != types.Int(-5) {
+		t.Errorf("literals = %v", vs)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM donate WHERE amount BETWEEN 10 AND 20`)
+	s := st.(*Select)
+	if s.Columns != nil || s.Table.Name != "donate" || len(s.Where) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	pr := s.Where[0]
+	if pr.Op != OpBetween || pr.Val != types.Int(10) || pr.Hi != types.Int(20) {
+		t.Errorf("pred = %+v", pr)
+	}
+
+	st = mustParse(t, `SELECT donor, amount FROM donate WHERE donor = "Jack" AND amount >= 5 WINDOW [100, 200]`)
+	s = st.(*Select)
+	if len(s.Columns) != 2 || s.Columns[1] != "amount" {
+		t.Errorf("columns = %v", s.Columns)
+	}
+	if len(s.Where) != 2 || s.Where[1].Op != OpGe {
+		t.Errorf("where = %+v", s.Where)
+	}
+	if s.Window == nil || s.Window.Start != 100 || s.Window.End != 200 {
+		t.Errorf("window = %+v", s.Window)
+	}
+
+	for _, src := range []string{
+		`SELECT * FROM t WHERE a != 3`,
+		`SELECT * FROM t WHERE a <> 3`,
+	} {
+		if st := mustParse(t, src); st.(*Select).Where[0].Op != OpNe {
+			t.Errorf("%q: wrong op", src)
+		}
+	}
+	ops := map[string]Op{"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "=": OpEq}
+	for sym, want := range ops {
+		st := mustParse(t, `SELECT * FROM t WHERE a `+sym+` 3`)
+		if got := st.(*Select).Where[0].Op; got != want {
+			t.Errorf("op %q parsed as %v", sym, got)
+		}
+	}
+}
+
+func TestParseOnChainJoin(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM transfer, distribute ON transfer.organization = distribute.organization`)
+	j := st.(*Join)
+	if j.Left.Name != "transfer" || j.Right.Name != "distribute" {
+		t.Fatalf("tables = %+v", j)
+	}
+	if j.LeftCol != "organization" || j.RightCol != "organization" {
+		t.Errorf("cols = %s/%s", j.LeftCol, j.RightCol)
+	}
+	// Reversed ON order still aligns.
+	st = mustParse(t, `SELECT * FROM a, b ON b.y = a.x`)
+	j = st.(*Join)
+	if j.LeftCol != "x" || j.RightCol != "y" {
+		t.Errorf("reversed ON: cols = %s/%s", j.LeftCol, j.RightCol)
+	}
+}
+
+func TestParseOnOffJoin(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM onchain.distribute, offchain.donorinfo ON distribute.donee = donorinfo.donee`)
+	j := st.(*Join)
+	if j.Left.Chain != ChainOn || j.Right.Chain != ChainOff {
+		t.Fatalf("chains = %+v", j)
+	}
+	if j.Left.Name != "distribute" || j.Right.Name != "donorinfo" {
+		t.Errorf("names = %+v", j)
+	}
+	// Fully qualified columns in ON.
+	st = mustParse(t, `SELECT * FROM onchain.a, offchain.b ON onchain.a.x = offchain.b.y`)
+	j = st.(*Join)
+	if j.LeftCol != "x" || j.RightCol != "y" {
+		t.Errorf("qualified cols = %s/%s", j.LeftCol, j.RightCol)
+	}
+	// Join with window.
+	st = mustParse(t, `SELECT * FROM a, b ON a.x = b.y WINDOW [1, 2]`)
+	if st.(*Join).Window == nil {
+		t.Error("join window lost")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	st := mustParse(t, `TRACE OPERATOR = "org1"`)
+	tr := st.(*Trace)
+	if !tr.HasOperator || tr.Operator != "org1" || tr.HasOperation || tr.Window != nil {
+		t.Fatalf("parsed %+v", tr)
+	}
+	st = mustParse(t, `TRACE [100,200] OPERATOR = "org1", OPERATION = "transfer";`)
+	tr = st.(*Trace)
+	if tr.Window == nil || tr.Window.Start != 100 || tr.Window.End != 200 {
+		t.Errorf("window = %+v", tr.Window)
+	}
+	if tr.Operator != "org1" || tr.Operation != "transfer" {
+		t.Errorf("dims = %q/%q", tr.Operator, tr.Operation)
+	}
+	st = mustParse(t, `TRACE OPERATION = "donate"`)
+	tr = st.(*Trace)
+	if tr.HasOperator || !tr.HasOperation {
+		t.Errorf("operation-only trace = %+v", tr)
+	}
+}
+
+func TestParseGetBlock(t *testing.T) {
+	st := mustParse(t, `GET BLOCK ID=7`)
+	g := st.(*GetBlock)
+	if g.By != ByID || g.Val != 7 {
+		t.Fatalf("parsed %+v", g)
+	}
+	if g := mustParse(t, `get block tid = 42`).(*GetBlock); g.By != ByTid || g.Val != 42 {
+		t.Errorf("tid form = %+v", g)
+	}
+	if g := mustParse(t, `GET BLOCK TS=123456`).(*GetBlock); g.By != ByTs {
+		t.Errorf("ts form = %+v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`DROP TABLE t`,
+		`CREATE t`,
+		`CREATE t (a blob)`,
+		`CREATE t (a int`,
+		`INSERT donate (1)`,
+		`INSERT INTO donate (1,`,
+		`SELECT FROM t`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t WHERE a`,
+		`SELECT * FROM t WHERE a LIKE 3`,
+		`SELECT * FROM t WHERE a BETWEEN 1`,
+		`SELECT * FROM badchain.t`,
+		`SELECT a FROM t, s ON t.a = s.a`, // join needs SELECT *
+		`SELECT * FROM t, s ON t.a = x.b`, // ON table mismatch
+		`SELECT * FROM t, s ON t.a`,
+		`TRACE`,
+		`TRACE WINDOW [1,2]`,
+		`GET BLOCK`,
+		`GET BLOCK HEIGHT=1`,
+		`GET BLOCK ID=abc`,
+		`SELECT * FROM t WINDOW [1,`,
+		`SELECT * FROM t; garbage`,
+		`INSERT INTO t ("unterminated)`,
+		`SELECT * FROM t WHERE a = 3 @`,
+	}
+	for _, src := range bad {
+		if st, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded: %+v", src, st)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex(`SELECT * FROM t WHERE a >= 3.5 AND b != 'x\'y'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	if toks[len(toks)-1].kind != tkEOF {
+		t.Error("missing EOF token")
+	}
+	// Escaped quote inside single-quoted string.
+	for _, tok := range toks {
+		if tok.kind == tkString && tok.text != `x'y` {
+			t.Errorf("string literal = %q", tok.text)
+		}
+	}
+	_ = kinds
+}
+
+func TestParseCount(t *testing.T) {
+	st := mustParse(t, `SELECT COUNT(*) FROM donate WHERE amount > 5`)
+	s := st.(*Select)
+	if !s.Count || s.Columns != nil {
+		t.Errorf("parsed %+v", s)
+	}
+	// Malformed COUNT forms fail.
+	for _, src := range []string{
+		`SELECT COUNT( FROM t`,
+		`SELECT COUNT(a) FROM t`,
+		`SELECT COUNT(*) FROM a, b ON a.x = b.y`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+	// "count" as a plain column name still parses.
+	st = mustParse(t, `SELECT count FROM t`)
+	if s := st.(*Select); s.Count || len(s.Columns) != 1 || s.Columns[0] != "count" {
+		t.Errorf("count column parsed as %+v", s)
+	}
+}

@@ -1,0 +1,431 @@
+// Package storage implements SEBDB's on-chain physical storage (paper
+// §IV-A): blocks are appended to segment files on disk (default segment
+// size 256 MB, configurable) and are immutable once written. The store
+// maintains the chain invariant — each appended block must link to the
+// current tip — and can rebuild its in-memory state by scanning the
+// segments on open (crash recovery).
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sebdb/internal/types"
+)
+
+const (
+	recordMagic = 0x5EBD_B10C
+	// DefaultSegmentSize is the paper's default block-file size.
+	DefaultSegmentSize = 256 << 20
+	headerSize         = 8 // magic + length
+	trailerSize        = 4 // crc32 of payload
+)
+
+// ErrNoBlock is returned when a requested block height does not exist.
+var ErrNoBlock = errors.New("storage: no such block")
+
+// ErrNotLinked is returned when an appended block does not extend the
+// current tip.
+var ErrNotLinked = errors.New("storage: block does not link to tip")
+
+// Location identifies where a block lives on disk.
+type Location struct {
+	// Segment is the segment file number.
+	Segment uint32
+	// Offset is the byte offset of the record header within the segment.
+	Offset int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// SegmentSize is the maximum segment file size in bytes before the
+	// store rolls to a new file. Zero means DefaultSegmentSize.
+	SegmentSize int64
+	// Sync forces an fsync after every append. Consensus already
+	// replicates blocks, so the default is false.
+	Sync bool
+}
+
+// Store is an append-only block store over a directory of segment files.
+type Store struct {
+	mu      sync.RWMutex
+	dir     string
+	opts    Options
+	cur     *os.File
+	curSeg  uint32
+	curSize int64
+	locs    []Location
+	headers []types.BlockHeader
+	// txBase[i] is the Tid of the first transaction of block i; used by
+	// callers that map tid ranges to blocks without reading bodies.
+	txBase []uint64
+	// txOffs[i] holds, for block i, the byte offset of each transaction
+	// within the block body plus a final sentinel (the body length).
+	// They make ReadTx a single tuple-sized random read — the p*(t_S+t_T)
+	// cost the paper's Equation 3 models for the layered index.
+	txOffs [][]uint32
+	// readers caches read-only handles per segment; segments are
+	// immutable once rolled and the current one is append-only, so
+	// positional reads through a shared handle are safe.
+	readers map[uint32]*os.File
+}
+
+// Open opens (creating if necessary) a block store in dir and recovers
+// its state by scanning existing segments.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, readers: make(map[uint32]*os.File)}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(n uint32) string {
+	return filepath.Join(s.dir, fmt.Sprintf("blocks-%06d.seg", n))
+}
+
+// recover scans segment files in order, validating records and chain
+// linkage, and truncates a torn final record if one exists.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var segs []uint32
+	for _, e := range entries {
+		var n uint32
+		if _, err := fmt.Sscanf(e.Name(), "blocks-%06d.seg", &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for i, n := range segs {
+		if uint32(i) != n {
+			return fmt.Errorf("storage: segment files not contiguous: missing %06d", i)
+		}
+	}
+
+	for _, n := range segs {
+		f, err := os.Open(s.segPath(n))
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		valid, err := s.scanSegment(f, n)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// A torn write can only be at the tail of the last segment.
+		if n == segs[len(segs)-1] {
+			if err := os.Truncate(s.segPath(n), valid); err != nil {
+				return fmt.Errorf("storage: truncating torn tail: %w", err)
+			}
+			s.curSeg, s.curSize = n, valid
+		}
+	}
+	if len(segs) == 0 {
+		s.curSeg, s.curSize = 0, 0
+	}
+	f, err := os.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.cur = f
+	return nil
+}
+
+// scanSegment reads records from f, appending to the in-memory state,
+// and returns the offset of the first invalid byte (the valid length).
+func (s *Store) scanSegment(f *os.File, seg uint32) (int64, error) {
+	var off int64
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		if binary.BigEndian.Uint32(hdr) != recordMagic {
+			return off, nil
+		}
+		n := binary.BigEndian.Uint32(hdr[4:])
+		payload := make([]byte, int(n)+trailerSize)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, nil // torn payload
+		}
+		body := payload[:n]
+		want := binary.BigEndian.Uint32(payload[n:])
+		if crc32.ChecksumIEEE(body) != want {
+			return off, nil // corrupt tail
+		}
+		b, offs, err := decodeBlockOffsets(body)
+		if err != nil {
+			return off, nil
+		}
+		if err := s.checkLinkage(&b.Header); err != nil {
+			return 0, err // mid-chain corruption is not recoverable silently
+		}
+		s.locs = append(s.locs, Location{Segment: seg, Offset: off})
+		s.headers = append(s.headers, b.Header)
+		s.txBase = append(s.txBase, b.Header.FirstTid)
+		s.txOffs = append(s.txOffs, offs)
+		off += headerSize + int64(n) + trailerSize
+	}
+}
+
+func (s *Store) checkLinkage(h *types.BlockHeader) error {
+	if len(s.headers) == 0 {
+		if h.Height != 0 {
+			return fmt.Errorf("%w: first block has height %d", ErrNotLinked, h.Height)
+		}
+		return nil
+	}
+	tip := &s.headers[len(s.headers)-1]
+	if h.Height != tip.Height+1 {
+		return fmt.Errorf("%w: height %d after %d", ErrNotLinked, h.Height, tip.Height)
+	}
+	if h.PrevHash != tip.Hash() {
+		return fmt.Errorf("%w: prev hash mismatch at height %d", ErrNotLinked, h.Height)
+	}
+	return nil
+}
+
+// Append validates and durably appends a block, returning its location.
+func (s *Store) Append(b *types.Block) (Location, error) {
+	if err := b.Validate(); err != nil {
+		return Location{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLinkage(&b.Header); err != nil {
+		return Location{}, err
+	}
+
+	body := b.EncodeBytes()
+	rec := make([]byte, headerSize+len(body)+trailerSize)
+	binary.BigEndian.PutUint32(rec, recordMagic)
+	binary.BigEndian.PutUint32(rec[4:], uint32(len(body)))
+	copy(rec[headerSize:], body)
+	binary.BigEndian.PutUint32(rec[headerSize+len(body):], crc32.ChecksumIEEE(body))
+
+	if s.curSize > 0 && s.curSize+int64(len(rec)) > s.opts.SegmentSize {
+		if err := s.rollSegment(); err != nil {
+			return Location{}, err
+		}
+	}
+	loc := Location{Segment: s.curSeg, Offset: s.curSize}
+	if _, err := s.cur.Write(rec); err != nil {
+		return Location{}, fmt.Errorf("storage: append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.cur.Sync(); err != nil {
+			return Location{}, fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	s.curSize += int64(len(rec))
+	s.locs = append(s.locs, loc)
+	s.headers = append(s.headers, b.Header)
+	s.txBase = append(s.txBase, b.Header.FirstTid)
+	_, offs, err := decodeBlockOffsets(body)
+	if err != nil {
+		return Location{}, fmt.Errorf("storage: offsets: %w", err)
+	}
+	s.txOffs = append(s.txOffs, offs)
+	return loc, nil
+}
+
+func (s *Store) rollSegment() error {
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.curSeg++
+	s.curSize = 0
+	f, err := os.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.cur = f
+	return nil
+}
+
+// Count returns the number of blocks in the chain.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.locs)
+}
+
+// Tip returns the header of the newest block; ok is false for an empty
+// chain.
+func (s *Store) Tip() (types.BlockHeader, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.headers) == 0 {
+		return types.BlockHeader{}, false
+	}
+	return s.headers[len(s.headers)-1], true
+}
+
+// Header returns the header of the block at the given height.
+func (s *Store) Header(height uint64) (types.BlockHeader, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height >= uint64(len(s.headers)) {
+		return types.BlockHeader{}, ErrNoBlock
+	}
+	return s.headers[height], nil
+}
+
+// Headers returns a copy of all block headers in height order.
+func (s *Store) Headers() []types.BlockHeader {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]types.BlockHeader, len(s.headers))
+	copy(out, s.headers)
+	return out
+}
+
+// FirstTid returns the Tid of the first transaction in the block at the
+// given height.
+func (s *Store) FirstTid(height uint64) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height >= uint64(len(s.txBase)) {
+		return 0, ErrNoBlock
+	}
+	return s.txBase[height], nil
+}
+
+// Block reads the full block at the given height from disk.
+func (s *Store) Block(height uint64) (*types.Block, error) {
+	s.mu.RLock()
+	if height >= uint64(len(s.locs)) {
+		s.mu.RUnlock()
+		return nil, ErrNoBlock
+	}
+	loc := s.locs[height]
+	s.mu.RUnlock()
+	return s.readAt(loc)
+}
+
+func (s *Store) readAt(loc Location) (*types.Block, error) {
+	f, err := s.reader(loc.Segment)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, loc.Offset); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr) != recordMagic {
+		return nil, fmt.Errorf("storage: bad magic at %v", loc)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	body := make([]byte, n)
+	if _, err := f.ReadAt(body, loc.Offset+headerSize); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return types.DecodeBlock(types.NewDecoder(body))
+}
+
+// Close releases the store's file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seg, f := range s.readers {
+		f.Close()
+		delete(s.readers, seg)
+	}
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+// reader returns a cached read-only handle for a segment.
+func (s *Store) reader(seg uint32) (*os.File, error) {
+	s.mu.RLock()
+	f, ok := s.readers[seg]
+	s.mu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.readers[seg]; ok {
+		return f, nil
+	}
+	f, err := os.Open(s.segPath(seg))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s.readers[seg] = f
+	return f, nil
+}
+
+// decodeBlockOffsets decodes a block and records each transaction's
+// byte offset within body, with a final sentinel at the body's end.
+func decodeBlockOffsets(body []byte) (*types.Block, []uint32, error) {
+	d := types.NewDecoder(body)
+	h, err := types.DecodeBlockHeader(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if int(n) > d.Remaining() {
+		return nil, nil, types.ErrCorrupt
+	}
+	b := &types.Block{Header: h, Txs: make([]*types.Transaction, n)}
+	offs := make([]uint32, n+1)
+	for i := range b.Txs {
+		offs[i] = uint32(d.Offset())
+		if b.Txs[i], err = types.DecodeTransaction(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	offs[n] = uint32(d.Offset())
+	return b, offs, nil
+}
+
+// ReadTx reads a single transaction with one tuple-sized random read —
+// the access pattern of the layered index's second level (Equation 3),
+// as opposed to Block's whole-block transfer (Equations 1 and 2).
+func (s *Store) ReadTx(height uint64, pos uint32) (*types.Transaction, error) {
+	s.mu.RLock()
+	if height >= uint64(len(s.locs)) {
+		s.mu.RUnlock()
+		return nil, ErrNoBlock
+	}
+	loc := s.locs[height]
+	offs := s.txOffs[height]
+	s.mu.RUnlock()
+	if int(pos)+1 >= len(offs) {
+		return nil, fmt.Errorf("storage: block %d has no tx at %d", height, pos)
+	}
+	start, end := offs[pos], offs[pos+1]
+	f, err := s.reader(loc.Segment)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, end-start)
+	if _, err := f.ReadAt(buf, loc.Offset+headerSize+int64(start)); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return types.DecodeTransaction(types.NewDecoder(buf))
+}

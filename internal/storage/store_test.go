@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"crypto/ed25519"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sebdb/internal/types"
+)
+
+var storeKey = ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+
+func mkBlock(prev *types.BlockHeader, firstTid uint64, n int) *types.Block {
+	txs := make([]*types.Transaction, n)
+	for i := range txs {
+		txs[i] = &types.Transaction{
+			Tid: firstTid + uint64(i), Ts: int64(firstTid) * 10,
+			SenID: "org1", Tname: "donate",
+			Args: []types.Value{types.Str("Jack"), types.Dec(float64(i))},
+		}
+	}
+	b := types.NewBlock(prev, txs, int64(firstTid)*100, "node0")
+	b.Header.Sign(storeKey)
+	return b
+}
+
+func appendChain(t testing.TB, s *Store, blocks, txPerBlock int) []*types.Block {
+	t.Helper()
+	var out []*types.Block
+	var prev *types.BlockHeader
+	tid := uint64(1)
+	for i := 0; i < blocks; i++ {
+		b := mkBlock(prev, tid, txPerBlock)
+		if _, err := s.Append(b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		prev = &b.Header
+		tid += uint64(txPerBlock)
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestAppendAndRead(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blocks := appendChain(t, s, 5, 3)
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	for i, want := range blocks {
+		got, err := s.Block(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Header.Hash() != want.Header.Hash() {
+			t.Errorf("block %d hash mismatch", i)
+		}
+		if len(got.Txs) != 3 {
+			t.Errorf("block %d has %d txs", i, len(got.Txs))
+		}
+	}
+	tip, ok := s.Tip()
+	if !ok || tip.Height != 4 {
+		t.Errorf("Tip = %+v, %v", tip, ok)
+	}
+	if ft, _ := s.FirstTid(2); ft != 7 {
+		t.Errorf("FirstTid(2) = %d", ft)
+	}
+	if _, err := s.Block(99); err != ErrNoBlock {
+		t.Errorf("missing block err = %v", err)
+	}
+	if _, err := s.Header(99); err != ErrNoBlock {
+		t.Errorf("missing header err = %v", err)
+	}
+	if _, err := s.FirstTid(99); err != ErrNoBlock {
+		t.Errorf("missing FirstTid err = %v", err)
+	}
+}
+
+func TestLinkageEnforced(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendChain(t, s, 2, 2)
+	// A block not linked to the tip must be rejected.
+	orphan := mkBlock(nil, 100, 1)
+	if _, err := s.Append(orphan); err == nil {
+		t.Error("unlinked block accepted")
+	}
+	// A block failing self-validation must be rejected.
+	tip, _ := s.Tip()
+	bad := mkBlock(&tip, 5, 2)
+	bad.Txs[1].Args[1] = types.Dec(777) // break merkle root
+	if _, err := s.Append(bad); err == nil {
+		t.Error("invalid block accepted")
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := appendChain(t, s, 10, 4)
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 10 {
+		t.Fatalf("recovered Count = %d", s2.Count())
+	}
+	got, err := s2.Block(7)
+	if err != nil || got.Header.Hash() != blocks[7].Header.Hash() {
+		t.Errorf("recovered block 7 mismatch: %v", err)
+	}
+	// And the chain keeps growing from where it left off.
+	tip, _ := s2.Tip()
+	next := mkBlock(&tip, 41, 2)
+	if _, err := s2.Append(next); err != nil {
+		t.Errorf("append after recovery: %v", err)
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendChain(t, s, 20, 3)
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "blocks-*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	s2, err := Open(dir, Options{SegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 20 {
+		t.Errorf("recovered across segments: Count = %d", s2.Count())
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s2.Block(uint64(i)); err != nil {
+			t.Errorf("block %d unreadable after segment roll: %v", i, err)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendChain(t, s, 3, 2)
+	s.Close()
+
+	// Simulate a torn write: append garbage to the last segment.
+	path := filepath.Join(dir, "blocks-000000.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x5E, 0xBD, 0xB1, 0x0C, 0x00, 0x00, 0x10}) // truncated header
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if s2.Count() != 3 {
+		t.Errorf("Count after torn tail = %d", s2.Count())
+	}
+	tip, _ := s2.Tip()
+	if _, err := s2.Append(mkBlock(&tip, 7, 1)); err != nil {
+		t.Errorf("append after torn-tail recovery: %v", err)
+	}
+}
+
+func TestHeadersCopy(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendChain(t, s, 4, 1)
+	hs := s.Headers()
+	if len(hs) != 4 {
+		t.Fatalf("Headers len = %d", len(hs))
+	}
+	hs[0].Height = 999 // mutating the copy must not affect the store
+	h0, _ := s.Header(0)
+	if h0.Height != 0 {
+		t.Error("Headers returned aliased memory")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Count() != 0 {
+		t.Error("fresh store not empty")
+	}
+	if _, ok := s.Tip(); ok {
+		t.Error("empty store has a tip")
+	}
+	// Genesis must have height 0.
+	bad := mkBlock(nil, 1, 1)
+	bad.Header.Height = 3
+	if _, err := s.Append(bad); err == nil {
+		t.Error("non-zero-height genesis accepted")
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendChain(t, s, 2, 1)
+	if s.Count() != 2 {
+		t.Error("sync append failed")
+	}
+}
+
+func TestReadTx(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := appendChain(t, s, 4, 5)
+	for bid, blk := range blocks {
+		for pos, want := range blk.Txs {
+			got, err := s.ReadTx(uint64(bid), uint32(pos))
+			if err != nil {
+				t.Fatalf("ReadTx(%d,%d): %v", bid, pos, err)
+			}
+			if got.Hash() != want.Hash() {
+				t.Errorf("ReadTx(%d,%d) returned wrong tx", bid, pos)
+			}
+		}
+	}
+	if _, err := s.ReadTx(0, 99); err == nil {
+		t.Error("out-of-range pos accepted")
+	}
+	if _, err := s.ReadTx(99, 0); err != ErrNoBlock {
+		t.Errorf("missing block err = %v", err)
+	}
+	s.Close()
+
+	// Offsets survive recovery.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.ReadTx(2, 3)
+	if err != nil || got.Hash() != blocks[2].Txs[3].Hash() {
+		t.Errorf("ReadTx after recovery: %v", err)
+	}
+}
+
+// TestAppendReopenProperty drives random append/reopen sequences and
+// checks every block stays readable with intact content.
+func TestAppendReopenProperty(t *testing.T) {
+	dir := t.TempDir()
+	var all []*types.Block
+	var prev *types.BlockHeader
+	tid := uint64(1)
+	rng := int64(1)
+	s, err := Open(dir, Options{SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 60; round++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		n := int(uint64(rng)>>60) + 1 // 1..16 txs
+		b := mkBlock(prev, tid, n)
+		if _, err := s.Append(b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		prev = &b.Header
+		tid += uint64(n)
+		all = append(all, b)
+		if round%7 == 3 { // periodic crash/reopen
+			s.Close()
+			if s, err = Open(dir, Options{SegmentSize: 4096}); err != nil {
+				t.Fatalf("reopen at %d: %v", round, err)
+			}
+			tipNow, ok := s.Tip()
+			if !ok || tipNow.Hash() != prev.Hash() {
+				t.Fatalf("round %d: tip lost across reopen", round)
+			}
+		}
+	}
+	defer s.Close()
+	if s.Count() != len(all) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(all))
+	}
+	for i, want := range all {
+		got, err := s.Block(uint64(i))
+		if err != nil || got.Header.Hash() != want.Header.Hash() {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		for pos := range want.Txs {
+			tx, err := s.ReadTx(uint64(i), uint32(pos))
+			if err != nil || tx.Hash() != want.Txs[pos].Hash() {
+				t.Fatalf("tx %d/%d: %v", i, pos, err)
+			}
+		}
+	}
+}

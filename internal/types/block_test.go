@@ -1,0 +1,109 @@
+package types
+
+import (
+	"testing"
+)
+
+func sampleBlock(t testing.TB, prev *BlockHeader, firstTid uint64, n int) *Block {
+	t.Helper()
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		txs[i] = sampleTx(firstTid + uint64(i))
+	}
+	b := NewBlock(prev, txs, 5_000_000, "node0")
+	b.Header.Sign(testKey(t))
+	return b
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	b := sampleBlock(t, nil, 1, 5)
+	got, err := DecodeBlock(NewDecoder(b.EncodeBytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Hash() != b.Header.Hash() {
+		t.Error("header hash changed across round-trip")
+	}
+	if len(got.Txs) != 5 || got.Txs[4].Tid != 5 {
+		t.Errorf("txs mismatch: %d", len(got.Txs))
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded block invalid: %v", err)
+	}
+	if !got.Header.VerifySig() {
+		t.Error("packager signature must survive round-trip")
+	}
+}
+
+func TestBlockChainLinkage(t *testing.T) {
+	b0 := sampleBlock(t, nil, 1, 3)
+	b1 := sampleBlock(t, &b0.Header, 4, 3)
+	if b1.Header.Height != 1 {
+		t.Errorf("height = %d", b1.Header.Height)
+	}
+	if b1.Header.PrevHash != b0.Header.Hash() {
+		t.Error("prev hash not linked")
+	}
+}
+
+func TestBlockValidateDetectsTampering(t *testing.T) {
+	b := sampleBlock(t, nil, 1, 4)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("fresh block invalid: %v", err)
+	}
+
+	tamper := func(mutate func(*Block)) error {
+		c, err := DecodeBlock(NewDecoder(b.EncodeBytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(c)
+		return c.Validate()
+	}
+
+	if err := tamper(func(c *Block) { c.Txs[2].Args[2] = Dec(9999) }); err == nil {
+		t.Error("modified tx payload must break merkle root")
+	}
+	if err := tamper(func(c *Block) { c.Txs = c.Txs[:3]; c.Header.TxCount = 4 }); err == nil {
+		t.Error("dropped tx must be detected")
+	}
+	if err := tamper(func(c *Block) { c.Txs[0].Tid = 99 }); err == nil {
+		t.Error("first tid mismatch must be detected")
+	}
+	if err := tamper(func(c *Block) { c.Txs[1].Tid = c.Txs[0].Tid }); err == nil {
+		t.Error("non-increasing tids must be detected")
+	}
+	if err := tamper(func(c *Block) { c.Txs[0], c.Txs[1] = c.Txs[1], c.Txs[0] }); err == nil {
+		t.Error("reordered txs must be detected")
+	}
+}
+
+func TestEmptyBlock(t *testing.T) {
+	b := NewBlock(nil, nil, 1, "node0")
+	if err := b.Validate(); err != nil {
+		t.Errorf("empty block should be valid: %v", err)
+	}
+	got, err := DecodeBlock(NewDecoder(b.EncodeBytes()))
+	if err != nil || len(got.Txs) != 0 {
+		t.Errorf("empty block round-trip: %v", err)
+	}
+}
+
+func TestHeaderSigVerifyRejectsTamper(t *testing.T) {
+	b := sampleBlock(t, nil, 1, 2)
+	h := b.Header
+	h.Timestamp++
+	if h.VerifySig() {
+		t.Error("tampered header must not verify")
+	}
+}
+
+func TestDecodeBlockCorrupt(t *testing.T) {
+	b := sampleBlock(t, nil, 1, 3)
+	raw := b.EncodeBytes()
+	for _, cut := range []int{0, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodeBlock(NewDecoder(raw[:cut])); err == nil {
+			t.Errorf("truncated block at %d decoded without error", cut)
+		}
+	}
+}

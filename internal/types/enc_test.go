@@ -1,0 +1,129 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uint8(7)
+	e.Uint32(1 << 30)
+	e.Uint64(1 << 60)
+	e.Int64(-5)
+	e.Float64(math.Pi)
+	e.Bytes32([32]byte{1, 2, 3})
+	e.Blob([]byte{9, 8})
+	e.Str("héllo")
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint8(); v != 7 {
+		t.Errorf("Uint8 = %d", v)
+	}
+	if v, _ := d.Uint32(); v != 1<<30 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if v, _ := d.Uint64(); v != 1<<60 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v, _ := d.Int64(); v != -5 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v, _ := d.Float64(); v != math.Pi {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v, _ := d.Bytes32(); v != ([32]byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", v)
+	}
+	if v, _ := d.Blob(); !bytes.Equal(v, []byte{9, 8}) {
+		t.Errorf("Blob = %v", v)
+	}
+	if v, _ := d.Str(); v != "héllo" {
+		t.Errorf("Str = %q", v)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestValueRoundTripQuick(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, pick uint8) bool {
+		var v Value
+		switch pick % 6 {
+		case 0:
+			v = Null
+		case 1:
+			v = Str(s)
+		case 2:
+			v = Int(i)
+		case 3:
+			if math.IsNaN(fl) {
+				fl = 0
+			}
+			v = Dec(fl)
+		case 4:
+			v = Bool(b)
+		default:
+			v = Time(i)
+		}
+		e := NewEncoder(0)
+		e.Value(v)
+		got, err := NewDecoder(e.Bytes()).Value()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	vs := []Value{Str("a"), Int(1), Dec(2.5), Bool(true), Time(99), Null}
+	e := NewEncoder(0)
+	e.Values(vs)
+	got, err := NewDecoder(e.Bytes()).Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Errorf("values[%d] = %v, want %v", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestDecoderCorruption(t *testing.T) {
+	// Truncated buffers must yield ErrCorrupt, not panic.
+	e := NewEncoder(0)
+	e.Str("hello world")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		if _, err := d.Str(); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	// Bad value tag.
+	if _, err := NewDecoder([]byte{0xFF}).Value(); err == nil {
+		t.Error("bad tag not detected")
+	}
+	// Values() with an absurd count must not allocate unbounded memory.
+	if _, err := NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF}).Values(); err == nil {
+		t.Error("absurd count not detected")
+	}
+}
+
+func TestEncodingIsDeterministic(t *testing.T) {
+	mk := func() []byte {
+		e := NewEncoder(0)
+		e.Values([]Value{Str("x"), Dec(1.25), Int(-9)})
+		return e.Bytes()
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Error("encoding not deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+package types
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Hash is the 32-byte SHA-256 digest used throughout SEBDB.
+type Hash = [32]byte
+
+// Transaction is one on-chain tuple. Following the paper (§IV-A), every
+// transaction carries the system-level attributes Tid, Ts, Sig, SenID
+// and Tname, plus the application-level attributes of its table's
+// schema, in schema order.
+type Transaction struct {
+	// Tid is the globally unique, monotonically increasing transaction id
+	// assigned when the transaction is ordered into a block.
+	Tid uint64
+	// Ts is the time the transaction was sent, in Unix microseconds.
+	Ts int64
+	// SenID identifies the sender (a participant of the consortium).
+	SenID string
+	// Tname is the transaction type, i.e. the table the tuple belongs to.
+	Tname string
+	// Sig is the sender's ed25519 signature over SigningBytes.
+	Sig []byte
+	// PubKey is the sender's ed25519 public key. In a deployed consortium
+	// the key would be looked up in a membership registry; carrying it in
+	// the transaction keeps verification self-contained.
+	PubKey []byte
+	// Args holds the application-level attribute values in schema order.
+	Args []Value
+}
+
+// SigningBytes is the deterministic encoding the sender signs: all
+// fields except Tid (assigned post-ordering) and the signature itself.
+func (t *Transaction) SigningBytes() []byte {
+	e := NewEncoder(64 + 16*len(t.Args))
+	e.Int64(t.Ts)
+	e.Str(t.SenID)
+	e.Str(t.Tname)
+	e.Blob(t.PubKey)
+	e.Values(t.Args)
+	return e.Bytes()
+}
+
+// Sign signs the transaction with the given private key and records the
+// matching public key.
+func (t *Transaction) Sign(priv ed25519.PrivateKey) {
+	t.PubKey = append([]byte(nil), priv.Public().(ed25519.PublicKey)...)
+	t.Sig = ed25519.Sign(priv, t.SigningBytes())
+}
+
+// VerifySig checks the sender signature. Transactions created before a
+// key was configured (e.g. genesis/schema bootstrap) carry no signature
+// and fail verification.
+func (t *Transaction) VerifySig() bool {
+	if len(t.PubKey) != ed25519.PublicKeySize || len(t.Sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(t.PubKey), t.SigningBytes(), t.Sig)
+}
+
+// Encode serialises the full transaction including Tid and signature.
+func (t *Transaction) Encode(e *Encoder) {
+	e.Uint64(t.Tid)
+	e.Int64(t.Ts)
+	e.Str(t.SenID)
+	e.Str(t.Tname)
+	e.Blob(t.Sig)
+	e.Blob(t.PubKey)
+	e.Values(t.Args)
+}
+
+// EncodeBytes is a convenience wrapper around Encode.
+func (t *Transaction) EncodeBytes() []byte {
+	e := NewEncoder(96 + 16*len(t.Args))
+	t.Encode(e)
+	return e.Bytes()
+}
+
+// DecodeTransaction reads one transaction from d.
+func DecodeTransaction(d *Decoder) (*Transaction, error) {
+	t := &Transaction{}
+	var err error
+	if t.Tid, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if t.Ts, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	if t.SenID, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if t.Tname, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if t.Sig, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if t.PubKey, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if t.Args, err = d.Values(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Hash returns the SHA-256 digest of the encoded transaction; it is the
+// leaf value of the block's Merkle tree.
+func (t *Transaction) Hash() Hash {
+	return sha256.Sum256(t.EncodeBytes())
+}
+
+// Size returns the encoded size in bytes, used by the block packager to
+// respect the configured block size.
+func (t *Transaction) Size() int { return len(t.EncodeBytes()) }
+
+// SystemColumns are the names of the system-level attributes every
+// SEBDB table implicitly starts with (paper §III-A/IV-A).
+var SystemColumns = []string{"tid", "ts", "senid", "tname"}
+
+// SystemColumnKind returns the kind of a system-level column, or an
+// error if name is not a system column.
+func SystemColumnKind(name string) (Kind, error) {
+	switch name {
+	case "tid":
+		return KindInt, nil
+	case "ts":
+		return KindTimestamp, nil
+	case "senid", "tname":
+		return KindString, nil
+	default:
+		return KindNull, fmt.Errorf("types: %q is not a system column", name)
+	}
+}
+
+// SystemValue extracts the value of a system-level column from t.
+func (t *Transaction) SystemValue(name string) (Value, error) {
+	switch name {
+	case "tid":
+		return Int(int64(t.Tid)), nil
+	case "ts":
+		return Time(t.Ts), nil
+	case "senid":
+		return Str(t.SenID), nil
+	case "tname":
+		return Str(t.Tname), nil
+	default:
+		return Null, fmt.Errorf("types: %q is not a system column", name)
+	}
+}
+
+// ErrNoColumn is returned by Column for an out-of-range index.
+var ErrNoColumn = errors.New("types: column index out of range")
+
+// Column returns the i-th application-level attribute.
+func (t *Transaction) Column(i int) (Value, error) {
+	if i < 0 || i >= len(t.Args) {
+		return Null, ErrNoColumn
+	}
+	return t.Args[i], nil
+}

@@ -1,0 +1,119 @@
+package types
+
+import (
+	"crypto/ed25519"
+	"testing"
+)
+
+func testKey(t testing.TB) ed25519.PrivateKey {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	return ed25519.NewKeyFromSeed(seed)
+}
+
+func sampleTx(tid uint64) *Transaction {
+	return &Transaction{
+		Tid:   tid,
+		Ts:    int64(1000 + tid),
+		SenID: "org1",
+		Tname: "donate",
+		Args:  []Value{Str("Jack"), Str("Education"), Dec(100)},
+	}
+}
+
+func TestTransactionSignVerify(t *testing.T) {
+	tx := sampleTx(1)
+	if tx.VerifySig() {
+		t.Error("unsigned tx must not verify")
+	}
+	tx.Sign(testKey(t))
+	if !tx.VerifySig() {
+		t.Error("signed tx must verify")
+	}
+	tx.Args[2] = Dec(1e6) // tamper
+	if tx.VerifySig() {
+		t.Error("tampered tx must not verify")
+	}
+}
+
+func TestTransactionEncodeDecode(t *testing.T) {
+	tx := sampleTx(42)
+	tx.Sign(testKey(t))
+	got, err := DecodeTransaction(NewDecoder(tx.EncodeBytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tid != tx.Tid || got.Ts != tx.Ts || got.SenID != tx.SenID || got.Tname != tx.Tname {
+		t.Errorf("system fields mismatch: %+v", got)
+	}
+	if len(got.Args) != 3 || got.Args[0] != Str("Jack") || got.Args[2] != Dec(100) {
+		t.Errorf("args mismatch: %v", got.Args)
+	}
+	if !got.VerifySig() {
+		t.Error("decoded tx must still verify")
+	}
+	if got.Hash() != tx.Hash() {
+		t.Error("hash must survive round-trip")
+	}
+}
+
+func TestTransactionHashChangesWithTid(t *testing.T) {
+	a, b := sampleTx(1), sampleTx(2)
+	if a.Hash() == b.Hash() {
+		t.Error("different tids must hash differently")
+	}
+}
+
+func TestTransactionSize(t *testing.T) {
+	tx := sampleTx(1)
+	if tx.Size() != len(tx.EncodeBytes()) {
+		t.Error("Size must match encoding length")
+	}
+}
+
+func TestSystemColumns(t *testing.T) {
+	tx := sampleTx(9)
+	for _, c := range SystemColumns {
+		if _, err := SystemColumnKind(c); err != nil {
+			t.Errorf("SystemColumnKind(%q): %v", c, err)
+		}
+		if _, err := tx.SystemValue(c); err != nil {
+			t.Errorf("SystemValue(%q): %v", c, err)
+		}
+	}
+	if v, _ := tx.SystemValue("tid"); v != Int(9) {
+		t.Errorf("tid = %v", v)
+	}
+	if v, _ := tx.SystemValue("senid"); v != Str("org1") {
+		t.Errorf("senid = %v", v)
+	}
+	if v, _ := tx.SystemValue("tname"); v != Str("donate") {
+		t.Errorf("tname = %v", v)
+	}
+	if v, _ := tx.SystemValue("ts"); v != Time(1009) {
+		t.Errorf("ts = %v", v)
+	}
+	if _, err := tx.SystemValue("nope"); err == nil {
+		t.Error("unknown system column should error")
+	}
+	if _, err := SystemColumnKind("nope"); err == nil {
+		t.Error("unknown system column kind should error")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tx := sampleTx(1)
+	v, err := tx.Column(1)
+	if err != nil || v != Str("Education") {
+		t.Errorf("Column(1) = %v, %v", v, err)
+	}
+	if _, err := tx.Column(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := tx.Column(3); err == nil {
+		t.Error("out of range index should error")
+	}
+}
