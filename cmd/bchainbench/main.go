@@ -35,7 +35,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer os.RemoveAll(scratch)
+		defer os.RemoveAll(scratch) //sebdb:ignore-err scratch directory removal at process exit
 	}
 
 	var err error

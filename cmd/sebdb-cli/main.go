@@ -38,7 +38,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "connect:", err)
 			os.Exit(1)
 		}
-		defer remote.Close()
+		defer remote.Close() //sebdb:ignore-err connection teardown at process exit
 		run = remote.SQL
 	case *dir != "":
 		engine, err := core.Open(core.Config{Dir: *dir})
@@ -47,8 +47,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer func() {
-			engine.Flush()
-			engine.Close()
+			if err := engine.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "flush:", err)
+			}
+			if err := engine.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "close:", err)
+			}
 		}()
 		run = func(sql string) (*core.Result, error) { return engine.Execute(sql) }
 	default:

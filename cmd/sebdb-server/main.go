@@ -62,7 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
-	defer engine.Close()
+	defer func() {
+		if err := engine.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+		}
+	}()
 
 	for _, spec := range authIdx {
 		i := strings.LastIndex(spec, ".")
@@ -80,7 +84,11 @@ func main() {
 	}
 
 	n := node.New(engine)
-	defer n.Close()
+	defer func() {
+		if err := n.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+		}
+	}()
 	addr, err := n.Serve(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)

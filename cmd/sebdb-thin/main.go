@@ -70,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "node:", err)
 		os.Exit(1)
 	}
-	defer full.Close()
+	defer full.Close() //sebdb:ignore-err node teardown at process exit
 	var aux []node.QueryNode
 	for _, a := range auxAddrs {
 		r, err := node.DialNode(a)
@@ -78,7 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aux %s: %v\n", a, err)
 			os.Exit(1)
 		}
-		defer r.Close()
+		defer r.Close() //sebdb:ignore-err connection teardown at process exit
 		aux = append(aux, r)
 	}
 	if len(aux) == 0 {

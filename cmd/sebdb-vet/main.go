@@ -1,0 +1,62 @@
+// Command sebdb-vet runs the project's static-analysis suite
+// (internal/lint) over the module: bounded wire decoding, no dropped
+// errors, deterministic consensus code, lock discipline, and
+// truncation-safe uint32 length casts. It exits non-zero when any
+// violation survives the //sebdb:ignore-* directives.
+//
+// Usage:
+//
+//	sebdb-vet [-list] [dir]
+//
+// dir defaults to "." and may be the familiar "./..." (the suite always
+// analyses the whole module rooted at dir's go.mod).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sebdb/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = strings.TrimSuffix(flag.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sebdb-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sebdb-vet:", err)
+		os.Exit(2)
+	}
+	findings := lint.RunAll(pkgs)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sebdb-vet: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -19,13 +19,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	engine, err := core.Open(core.Config{Dir: dir, BlockMaxTxs: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer engine.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	// Schema: a public ledger plus a members-only audit table.
 	for _, ddl := range []string{

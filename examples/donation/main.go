@@ -23,13 +23,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	engine, err := core.Open(core.Config{Dir: dir, BlockMaxTxs: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer engine.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	// Each participant signs its transactions with its own key.
 	for _, who := range []string{"jack", "charity", "school1"} {

@@ -22,13 +22,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	engine, err := core.Open(core.Config{Dir: dir, DefaultSender: "registry"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer engine.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	if _, err := engine.Execute(
 		`CREATE shipment (batch string, origin string, destination string, kilos decimal)`); err != nil {

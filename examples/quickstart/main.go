@@ -17,14 +17,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	// Open a single-node engine; it packages blocks itself.
 	engine, err := core.Open(core.Config{Dir: dir, BlockMaxTxs: 4, DefaultSender: "alice"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer engine.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	// DDL straight from the paper's Example 1.
 	mustExec(engine, `CREATE Donate ( donor string, project string, amount decimal)`)

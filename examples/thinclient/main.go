@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //sebdb:ignore-err example exit path; errors have nowhere to go
 
 	// Build node 0's chain: 10 blocks of donations.
 	engines := make([]*core.Engine, 4)
@@ -34,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer e.Close()
+		defer e.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 		engines[i] = e
 	}
 	e0 := engines[0]
@@ -72,7 +72,7 @@ func main() {
 	for i, e := range engines {
 		must(e.CreateAuthIndex("donate", "amount"))
 		n := node.New(e)
-		defer n.Close()
+		defer n.Close() //sebdb:ignore-err example exit path; errors have nowhere to go
 		qns = append(qns, &node.Local{Node: n, Name: fmt.Sprintf("node%d", i)})
 	}
 

@@ -20,12 +20,15 @@ import (
 // level is the layered index's per-block filter, the second level one
 // MB-tree per block. Each block height is a verifiable snapshot.
 type ALI struct {
-	mu     sync.RWMutex
+	// attr and fanout are fixed at construction; first carries its own
+	// internal lock.
 	attr   string
 	first  *layered.Index
-	trees  []*mbtree.Tree // indexed by block id; nil when block empty
-	roots  []mbtree.Hash
 	fanout int
+
+	mu    sync.RWMutex
+	trees []*mbtree.Tree // indexed by block id; nil when block empty
+	roots []mbtree.Hash
 }
 
 // NewDiscrete creates an ALI over a discrete attribute (e.g. Tname for

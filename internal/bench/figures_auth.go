@@ -36,16 +36,16 @@ func authDataset(dir string, blocks, total, result int) (*core.Engine, error) {
 			Dist: Uniform, Seed: 1,
 		})
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 	}
 	if err := e.CreateAuthIndex("", "senid"); err != nil {
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 		return nil, err
 	}
 	if err := e.CreateAuthIndex("donate", "amount"); err != nil {
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 		return nil, err
 	}
 	return e, nil
@@ -134,17 +134,17 @@ func authFigure(dir string, scale float64, title, note string,
 		}
 		aliQ2, err := runALI(e, "", "senid", types.Str("org1"), types.Str("org1"))
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		aliQ4, err := runALI(e, "donate", "amount", types.Dec(RangeLo), types.Dec(RangeHi))
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		basicQ2, err := runBasic(e, func(tx *types.Transaction) bool { return tx.SenID == "org1" })
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		basicQ4, err := runBasic(e, func(tx *types.Transaction) bool {
@@ -154,7 +154,7 @@ func authFigure(dir string, scale float64, title, note string,
 			v := tx.Args[2].Float()
 			return v >= RangeLo && v <= RangeHi
 		})
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 		if err != nil {
 			return nil, err
 		}

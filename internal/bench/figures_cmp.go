@@ -55,19 +55,19 @@ func Fig20(dir string, scale float64) (*Table, error) {
 		}
 		cs, err := chainsqlReplica(e)
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		nSe, dSe, err := Timed(func() (int, error) { return Q2(e, "org1", exec.MethodLayered) })
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		nCs, dCs, err := Timed(func() (int, error) {
 			txs, err := cs.TrackOneDim("org1")
 			return len(txs), err
 		})
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 		if err != nil {
 			return nil, err
 		}
@@ -107,14 +107,14 @@ func Fig21(dir string, scale float64) (*Table, error) {
 		}
 		cs, err := chainsqlReplica(e)
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		nSe, dSe, err := Timed(func() (int, error) {
 			return Q3(e, "org1", "transfer", nil, true)
 		})
 		if err != nil {
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			return nil, err
 		}
 		var bytes int
@@ -123,7 +123,7 @@ func Fig21(dir string, scale float64) (*Table, error) {
 			bytes = b
 			return len(txs), err
 		})
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 		if err != nil {
 			return nil, err
 		}
@@ -249,13 +249,13 @@ func Fig22(dir string, scale float64) (*Table, error) {
 		for _, q := range queries {
 			// Cache warming (§VII-H runs each query for 10 minutes first).
 			if _, err := q.run(e); err != nil {
-				e.Close()
+				e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 				return nil, err
 			}
 			start := time.Now()
 			for r := 0; r < requests; r++ {
 				if _, err := q.run(e); err != nil {
-					e.Close()
+					e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 					return nil, err
 				}
 			}
@@ -265,7 +265,7 @@ func Fig22(dir string, scale float64) (*Table, error) {
 			}
 			results[q.name][mode] = mean
 		}
-		e.Close()
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 	}
 	for _, q := range queries {
 		t.AddRow(q.name, ms(results[q.name][core.CacheBlocks]), ms(results[q.name][core.CacheTxs]))

@@ -62,7 +62,7 @@ func Fig8(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q2(e, "org1", run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +109,7 @@ func Fig9(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q2(e, "org1", run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +140,7 @@ func Fig10(dir string, scale float64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer e.Close()
+		defer e.Close() //sebdb:ignore-err benchmark scratch engine; teardown errors are immaterial
 		if e.Height() == 0 {
 			if err := LoadTwoDim(e, blocks, 40, nBoth, extra, extra, dist, 20, 1); err != nil {
 				return nil, err
@@ -201,7 +201,7 @@ func Fig11(dir string, scale float64) (*Table, error) {
 				return nil, err
 			}
 			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -243,7 +243,7 @@ func Fig12(dir string, scale float64) (*Table, error) {
 				return nil, err
 			}
 			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -288,7 +288,7 @@ func Fig13(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q5(e, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -336,7 +336,7 @@ func Fig14(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q5(e, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -380,7 +380,7 @@ func Fig15(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q6(e, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}
@@ -428,7 +428,7 @@ func Fig16(dir string, scale float64) (*Table, error) {
 				}
 			}
 			n, d, err := Timed(func() (int, error) { return Q6(e, run.m) })
-			e.Close()
+			e.Close() //sebdb:ignore-err best-effort cleanup on the error path
 			if err != nil {
 				return nil, err
 			}

@@ -106,9 +106,9 @@ func Fig7(dir string, scale float64) (*Table, error) {
 			}
 			wg.Wait()
 			elapsed := time.Since(start)
-			cons.Stop()
+			cons.Stop() //sebdb:ignore-err benchmark teardown after results are collected
 			for _, e := range engines {
-				e.Close()
+				e.Close() //sebdb:ignore-err benchmark teardown after results are collected
 			}
 			if completed == 0 {
 				return nil, fmt.Errorf("fig7: no transactions completed under %s", proto)

@@ -1,0 +1,18 @@
+// Package clock provides an injectable time source. Consensus decides
+// the block timestamp every replica must agree on, so deterministic
+// components take their clock through an option instead of reading the
+// ambient wall clock (the invariant sebdb-vet's determinism analyzer
+// enforces); production wires in UnixMicro, tests and replays inject a
+// fixed or scripted source.
+package clock
+
+import "time"
+
+// Source yields a timestamp in microseconds since the Unix epoch.
+type Source func() int64
+
+// UnixMicro is the wall-clock source, the default outside tests.
+func UnixMicro() int64 { return time.Now().UnixMicro() }
+
+// Fixed returns a source frozen at ts, for tests and replay.
+func Fixed(ts int64) Source { return func() int64 { return ts } }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"sebdb/internal/clock"
 	"sebdb/internal/consensus"
 	"sebdb/internal/types"
 )
@@ -25,6 +26,9 @@ type Options struct {
 	// BatchTimeout cuts a non-empty batch after this delay even if it is
 	// not full (default 200 ms).
 	BatchTimeout time.Duration
+	// Now supplies block timestamps (default clock.UnixMicro). Injected
+	// so replays and tests can pin the timestamps subscribers agree on.
+	Now clock.Source
 }
 
 func (o *Options) fill() {
@@ -33,6 +37,9 @@ func (o *Options) fill() {
 	}
 	if o.BatchTimeout == 0 {
 		o.BatchTimeout = 200 * time.Millisecond
+	}
+	if o.Now == nil {
+		o.Now = clock.UnixMicro
 	}
 }
 
@@ -170,7 +177,7 @@ func (b *Broker) cut() {
 		for i, p := range batch {
 			txs[i] = p.tx
 		}
-		ts := time.Now().UnixMicro()
+		ts := b.opts.Now()
 		var err error
 		for _, sub := range subs {
 			// Each node packages the identical ordered batch; the clones

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sebdb/internal/clock"
 	"sebdb/internal/consensus"
 	"sebdb/internal/types"
 )
@@ -43,6 +44,9 @@ type Options struct {
 	// RequireSigs makes the serial CheckTx step reject transactions
 	// without a valid sender signature.
 	RequireSigs bool
+	// Now supplies block timestamps (default clock.UnixMicro). Injected
+	// so replays and tests can pin the timestamps replicas agree on.
+	Now clock.Source
 }
 
 func (o *Options) fill() {
@@ -57,6 +61,9 @@ func (o *Options) fill() {
 	}
 	if o.ViewChangeTimeout == 0 {
 		o.ViewChangeTimeout = time.Second
+	}
+	if o.Now == nil {
+		o.Now = clock.UnixMicro
 	}
 }
 
@@ -253,21 +260,28 @@ func (c *Cluster) batcher() {
 	defer ticker.Stop()
 	vcTimer := time.NewTicker(c.opts.ViewChangeTimeout)
 	defer vcTimer.Stop()
-	lastProgress := time.Now()
+	// Stall detection counts vcTimer ticks instead of comparing wall
+	// clock readings: two consecutive ticks with pending work and no
+	// execution in between span at least one full ViewChangeTimeout.
+	stalledTicks := 0
 	for {
 		select {
 		case <-c.stopCh:
 			return
 		case <-c.progressCh:
-			lastProgress = time.Now()
+			stalledTicks = 0
 		case <-vcTimer.C:
 			c.mu.Lock()
-			stalled := (len(c.queue) > 0 || len(c.inFlight) > 0) &&
-				time.Since(lastProgress) > c.opts.ViewChangeTimeout
+			pending := len(c.queue) > 0 || len(c.inFlight) > 0
 			c.mu.Unlock()
-			if stalled {
+			if !pending {
+				stalledTicks = 0
+				continue
+			}
+			stalledTicks++
+			if stalledTicks >= 2 {
 				c.startViewChange()
-				lastProgress = time.Now()
+				stalledTicks = 0
 			}
 		case <-ticker.C:
 			c.propose()
@@ -460,7 +474,7 @@ func (r *replica) executeReady() {
 		var err error
 		if !r.done[in.digest] {
 			r.done[in.digest] = true
-			_, err = c.commit[r.id].CommitBlock(cloneTxs(in.batch), time.Now().UnixMicro())
+			_, err = c.commit[r.id].CommitBlock(cloneTxs(in.batch), c.opts.Now())
 		}
 
 		// Replica 0 acts as the client-facing replier: in full PBFT the

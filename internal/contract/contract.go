@@ -14,6 +14,7 @@ package contract
 import (
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -54,8 +55,10 @@ func Parse(name string, statements []string) (*Contract, error) {
 			if m[1] == "sender" {
 				continue
 			}
-			var n int
-			fmt.Sscanf(m[1], "%d", &n)
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("contract: %q statement %d: parameter %s: %w", name, i, m[0], err)
+			}
 			if n < 1 {
 				return nil, fmt.Errorf("contract: %q statement %d uses $0", name, i)
 			}
@@ -86,9 +89,8 @@ func substitute(stmt string, args []types.Value, sender string) string {
 		if m == "$sender" {
 			return quote(types.Str(sender))
 		}
-		var n int
-		fmt.Sscanf(m[1:], "%d", &n)
-		if n < 1 || n > len(args) {
+		n, err := strconv.Atoi(m[1:])
+		if err != nil || n < 1 || n > len(args) {
 			return m
 		}
 		return quote(args[n-1])

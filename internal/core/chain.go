@@ -192,15 +192,20 @@ func (e *Engine) backfillLayered(spec indexSpec, idx *layered.Index) error {
 // tracking), backfilled over the existing chain.
 func (e *Engine) CreateAuthIndex(table, col string) error {
 	spec := indexSpec{table: table, col: col}
+	// System columns always get a discrete first level, so kind stays
+	// KindString for them.
+	kind := types.KindString
 	if table != "" {
 		tbl, err := e.catalog.Lookup(table)
 		if err != nil {
 			return err
 		}
-		if _, _, err := tbl.ColumnKind(col); err != nil {
+		k, _, err := tbl.ColumnKind(col)
+		if err != nil {
 			return err
 		}
 		spec.table = tbl.Name
+		kind = k
 	} else if _, err := types.SystemColumnKind(col); err != nil {
 		return err
 	}
@@ -212,11 +217,6 @@ func (e *Engine) CreateAuthIndex(table, col string) error {
 	}
 
 	var ali *auth.ALI
-	kind := types.KindString
-	if table != "" {
-		tbl, _ := e.catalog.Lookup(table)
-		kind, _, _ = tbl.ColumnKind(col)
-	}
 	if kind == types.KindInt || kind == types.KindDecimal || kind == types.KindTimestamp {
 		sample, err := e.sampleColumn(spec, 100_000)
 		if err != nil {

@@ -102,13 +102,16 @@ type Engine struct {
 	catalog *schema.Catalog
 	offDB   *rdbms.DB
 
-	mu       sync.RWMutex // guards indexes and the write path
+	// blockIdx and tableIdx are created once in Open and carry their own
+	// internal locks, so readers reach them without taking e.mu.
 	blockIdx *blockindex.Index
 	tableIdx *bitmap.TableIndex // keys: table names and "senid:<id>"
-	lidx     map[string]*layered.Index
-	alis     map[string]*auth.ALI
-	lastTid  uint64
-	lastTs   int64
+
+	mu      sync.RWMutex // guards the index maps and the write path
+	lidx    map[string]*layered.Index
+	alis    map[string]*auth.ALI
+	lastTid uint64
+	lastTs  int64
 
 	mempool   []*types.Transaction
 	keys      map[string]ed25519.PrivateKey

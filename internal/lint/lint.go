@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// //sebdb:ignore-<name> directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run reports the violations in one package.
+	Run func(pkg *Package) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DecodeBounds,
+		DroppedErr,
+		Determinism,
+		LockCheck,
+		U32Trunc,
+	}
+}
+
+// directivePrefix introduces suppression comments:
+// //sebdb:ignore-<name> <reason>. The reason is mandatory — a
+// suppression nobody can justify is itself reported.
+const directivePrefix = "//sebdb:ignore-"
+
+// directiveAliases maps directive suffixes to analyzer names, so the
+// documented //sebdb:ignore-err form reaches droppederr.
+var directiveAliases = map[string]string{
+	"err":          "droppederr",
+	"droppederr":   "droppederr",
+	"decodebounds": "decodebounds",
+	"determinism":  "determinism",
+	"lock":         "lockcheck",
+	"lockcheck":    "lockcheck",
+	"u32":          "u32trunc",
+	"u32trunc":     "u32trunc",
+}
+
+// suppression records where one directive silences one analyzer.
+type suppression struct {
+	analyzer  string
+	file      string
+	line      int // directive's own line; also silences line+1
+	from, to  int // optional declaration range (inclusive lines), 0 if none
+	reasonOK  bool
+	directive token.Position
+}
+
+// collectSuppressions gathers every directive in the package, attaching
+// declaration ranges for doc comments.
+func collectSuppressions(pkg *Package) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		// Map doc-comment positions to their declaration's line range so
+		// a directive above a func/type suppresses the whole body.
+		docRange := make(map[token.Pos][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc.Pos()] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			rng, isDoc := docRange[cg.Pos()]
+			for _, c := range cg.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s := suppression{
+					analyzer:  name,
+					file:      pos.Filename,
+					line:      pos.Line,
+					reasonOK:  reason != "",
+					directive: pos,
+				}
+				if isDoc {
+					s.from, s.to = rng[0], rng[1]
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective splits a //sebdb:ignore-<name> <reason> comment.
+func parseDirective(text string) (analyzer, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	canonical, known := directiveAliases[name]
+	if !known {
+		return "", "", false
+	}
+	return canonical, strings.TrimSpace(reason), true
+}
+
+// suppresses reports whether s silences a finding of the given analyzer
+// at pos.
+func (s suppression) suppresses(analyzer string, pos token.Position) bool {
+	if s.analyzer != analyzer || s.file != pos.Filename {
+		return false
+	}
+	if pos.Line == s.line || pos.Line == s.line+1 {
+		return true
+	}
+	return s.from != 0 && pos.Line >= s.from && pos.Line <= s.to
+}
+
+// RunAll runs every analyzer over every package, applies suppression
+// directives, and returns the surviving findings sorted by position.
+// Directives without a reason are reported as findings themselves.
+func RunAll(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sups := collectSuppressions(pkg)
+		for _, s := range sups {
+			if !s.reasonOK {
+				out = append(out, Finding{
+					Pos:      s.directive,
+					Analyzer: s.analyzer,
+					Message:  fmt.Sprintf("%s%s directive needs a reason", directivePrefix, s.analyzer),
+				})
+			}
+		}
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(pkg) {
+				silenced := false
+				for _, s := range sups {
+					if s.reasonOK && s.suppresses(f.Analyzer, f.Pos) {
+						silenced = true
+						break
+					}
+				}
+				if !silenced {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}

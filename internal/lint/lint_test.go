@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture module under testdata/src/sebdb marks each seeded
+// violation with a trailing "want:<analyzer>" comment; the tests demand
+// an exact multiset match between those marks and RunAll's output.
+var wantRe = regexp.MustCompile(`want:([a-z0-9]+)`)
+
+type findingKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src", "sebdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module loaded no packages")
+	}
+	return pkgs
+}
+
+// fixtureFindings returns the actual and expected finding multisets,
+// leaving out baddirective.go (covered by its own test below).
+func fixtureFindings(t *testing.T) (got, want map[findingKey]int) {
+	t.Helper()
+	pkgs := loadFixture(t)
+	got = make(map[findingKey]int)
+	for _, f := range RunAll(pkgs) {
+		if filepath.Base(f.Pos.Filename) == "baddirective.go" {
+			continue
+		}
+		got[findingKey{filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer}]++
+	}
+	want = make(map[findingKey]int)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pos := pkg.Fset.Position(c.Pos())
+						want[findingKey{filepath.Base(pos.Filename), pos.Line, m[1]}]++
+					}
+				}
+			}
+		}
+	}
+	return got, want
+}
+
+func TestFixtureFindingsMatchWantComments(t *testing.T) {
+	got, want := fixtureFindings(t)
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", k.file, k.line, n, k.analyzer, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			t.Errorf("%s:%d: unexpected %s finding (count %d, want %d)", k.file, k.line, k.analyzer, n, want[k])
+		}
+	}
+}
+
+// Each analyzer must flag at least one seeded violation — a vacuous
+// analyzer would otherwise pass the comparison above with zero marks.
+func TestDecodeBoundsFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, "decodebounds") }
+func TestDroppedErrFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "droppederr") }
+func TestDeterminismFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "determinism") }
+func TestLockCheckFlagsSeededViolation(t *testing.T)    { requireAnalyzerHit(t, "lockcheck") }
+func TestU32TruncFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "u32trunc") }
+
+func requireAnalyzerHit(t *testing.T, analyzer string) {
+	t.Helper()
+	got, _ := fixtureFindings(t)
+	for k := range got {
+		if k.analyzer == analyzer {
+			return
+		}
+	}
+	t.Errorf("analyzer %s flagged nothing in the fixture module", analyzer)
+}
+
+// A directive without a reason is reported, and the call it decorates
+// stays flagged.
+func TestReasonlessDirectiveIsReported(t *testing.T) {
+	pkgs := loadFixture(t)
+	var needsReason, stillFlagged bool
+	for _, f := range RunAll(pkgs) {
+		if filepath.Base(f.Pos.Filename) != "baddirective.go" {
+			continue
+		}
+		if f.Analyzer != "droppederr" {
+			t.Errorf("baddirective.go: unexpected %s finding: %s", f.Analyzer, f.Message)
+			continue
+		}
+		if strings.Contains(f.Message, "needs a reason") {
+			needsReason = true
+		} else {
+			stillFlagged = true
+		}
+	}
+	if !needsReason {
+		t.Error("reason-less //sebdb:ignore-err directive was not reported")
+	}
+	if !stillFlagged {
+		t.Error("call under a reason-less directive was suppressed")
+	}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	for _, tc := range []struct {
+		text             string
+		analyzer, reason string
+		ok               bool
+	}{
+		{"//sebdb:ignore-err storage teardown", "droppederr", "storage teardown", true},
+		{"//sebdb:ignore-lock aliased acquisition", "lockcheck", "aliased acquisition", true},
+		{"//sebdb:ignore-u32 framed above", "u32trunc", "framed above", true},
+		{"//sebdb:ignore-droppederr full name", "droppederr", "full name", true},
+		{"//sebdb:ignore-err", "droppederr", "", true},
+		{"//sebdb:ignore-unknown whatever", "", "", false},
+		{"// plain comment", "", "", false},
+	} {
+		analyzer, reason, ok := parseDirective(tc.text)
+		if analyzer != tc.analyzer || reason != tc.reason || ok != tc.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.text, analyzer, reason, ok, tc.analyzer, tc.reason, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// LockCheck enforces the repository's lock-grouping convention: in a
+// struct, the fields declared in the same contiguous group as a
+// `mu sync.Mutex` / `mu sync.RWMutex` field, below it, are guarded by
+// that mutex (a blank line ends the guarded group). Every exported
+// method on the struct that touches a guarded field must acquire the
+// mutex somewhere in its body. This is a heuristic — it cannot prove
+// the lock covers the access — but it catches the common regression of
+// adding a fast-path accessor that forgets the lock entirely.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "exported methods touching mu-guarded fields must acquire the mutex (escape: //sebdb:ignore-lock <reason>)",
+	Run:  runLockCheck,
+}
+
+// guardedStruct records one struct's mutex-guarded field names.
+type guardedStruct struct {
+	name    string
+	guarded map[string]bool
+}
+
+func runLockCheck(pkg *Package) []Finding {
+	structs := make(map[string]*guardedStruct)
+	for _, f := range pkg.Files {
+		collectGuardedStructs(pkg, f, structs)
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, ok := receiverOf(fd)
+			if !ok {
+				continue
+			}
+			gs, isGuarded := structs[typeName]
+			if !isGuarded {
+				continue
+			}
+			touched := touchedGuardedField(fd.Body, recvName, gs.guarded)
+			if touched == "" || acquiresMutex(fd.Body, recvName) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(fd.Pos()),
+				Analyzer: "lockcheck",
+				Message: fmt.Sprintf("exported method %s.%s touches mu-guarded field %q without acquiring %s.mu",
+					typeName, fd.Name.Name, touched, recvName),
+			})
+		}
+	}
+	return out
+}
+
+// collectGuardedStructs scans a file for structs with a mu mutex field
+// and records the sibling fields in mu's contiguous declaration group.
+func collectGuardedStructs(pkg *Package, f *ast.File, out map[string]*guardedStruct) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, isType := n.(*ast.TypeSpec)
+		if !isType {
+			return true
+		}
+		st, isStruct := ts.Type.(*ast.StructType)
+		if !isStruct || st.Fields == nil {
+			return true
+		}
+		muIdx := -1
+		for i, field := range st.Fields.List {
+			if !isMutexField(field) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "mu" {
+					muIdx = i
+				}
+			}
+		}
+		if muIdx < 0 {
+			return true
+		}
+		gs := &guardedStruct{name: ts.Name.Name, guarded: make(map[string]bool)}
+		fields := st.Fields.List
+		for i := muIdx + 1; i < len(fields); i++ {
+			// A blank line between fields ends the guarded group; doc and
+			// trailing comments stretch a field's extent.
+			prevEnd := fields[i-1].End()
+			if fields[i-1].Comment != nil && fields[i-1].Comment.End() > prevEnd {
+				prevEnd = fields[i-1].Comment.End()
+			}
+			start := fields[i].Pos()
+			if fields[i].Doc != nil {
+				start = fields[i].Doc.Pos()
+			}
+			if pkg.Fset.Position(start).Line > pkg.Fset.Position(prevEnd).Line+1 {
+				break
+			}
+			for _, name := range fields[i].Names {
+				gs.guarded[name.Name] = true
+			}
+		}
+		if len(gs.guarded) > 0 {
+			out[gs.name] = gs
+		}
+		return true
+	})
+}
+
+// isMutexField matches `mu sync.Mutex` and `mu sync.RWMutex`.
+func isMutexField(field *ast.Field) bool {
+	sel, isSel := field.Type.(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	pkg, isID := sel.X.(*ast.Ident)
+	return isID && pkg.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+}
+
+// receiverOf extracts the receiver variable and base type name.
+func receiverOf(fd *ast.FuncDecl) (recvName, typeName string, ok bool) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", "", false
+	}
+	recvName = fd.Recv.List[0].Names[0].Name
+	t := fd.Recv.List[0].Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		t = star.X
+	}
+	if gen, isGen := t.(*ast.IndexExpr); isGen { // generic receiver T[P]
+		t = gen.X
+	}
+	id, isID := t.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	return recvName, id.Name, true
+}
+
+// touchedGuardedField returns the first guarded field the body accesses
+// through the receiver, or "".
+func touchedGuardedField(body *ast.BlockStmt, recvName string, guarded map[string]bool) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		id, isID := sel.X.(*ast.Ident)
+		if isID && id.Name == recvName && guarded[sel.Sel.Name] {
+			found = sel.Sel.Name
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// acquiresMutex reports whether the body calls recv.mu.Lock or
+// recv.mu.RLock anywhere.
+func acquiresMutex(body *ast.BlockStmt, recvName string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, isInner := sel.X.(*ast.SelectorExpr)
+		if !isInner || inner.Sel.Name != "mu" {
+			return true
+		}
+		id, isID := inner.X.(*ast.Ident)
+		if isID && id.Name == recvName {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

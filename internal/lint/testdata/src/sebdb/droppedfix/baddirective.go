@@ -1,0 +1,8 @@
+package droppedfix
+
+// BadDirective carries a suppression without a reason: the directive is
+// reported and the call stays flagged. The lint tests match this file by
+// name because a want comment here would become the directive's reason.
+func BadDirective() {
+	fail() //sebdb:ignore-err
+}

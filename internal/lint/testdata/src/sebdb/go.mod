@@ -1,0 +1,3 @@
+module sebdb
+
+go 1.22

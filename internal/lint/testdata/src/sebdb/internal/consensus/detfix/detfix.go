@@ -1,0 +1,14 @@
+// Package detfix seeds determinism violations inside the consensus
+// subtree: ambient time and globally seeded randomness.
+package detfix
+
+import (
+	"math/rand" // want:determinism
+	"time"
+)
+
+// Stamp mixes the wall clock and the global rng into a decision every
+// replica would have to reproduce.
+func Stamp() int64 {
+	return time.Now().UnixMicro() + int64(rand.Intn(10)) // want:determinism
+}

@@ -1,0 +1,23 @@
+// Package lockfix seeds a lockcheck violation: an exported fast-path
+// accessor touching a mu-guarded field without the lock.
+package lockfix
+
+import "sync"
+
+// Counter guards count with mu per the declaration-group convention.
+type Counter struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Add holds the lock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+// Peek forgets the lock.
+func (c *Counter) Peek() int { // want:lockcheck
+	return c.count
+}

@@ -1,0 +1,16 @@
+// Package u32fix seeds a u32trunc violation: a length cast feeding a
+// wire prefix with no truncation guard.
+package u32fix
+
+// Bad truncates a >4 GiB length silently.
+func Bad(b []byte) uint32 {
+	return uint32(len(b)) // want:u32trunc
+}
+
+// Good compares the same length against a bound first.
+func Good(b []byte) uint32 {
+	if len(b) > 1<<20 {
+		return 0
+	}
+	return uint32(len(b))
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprText renders an expression to canonical source text, used to
+// compare guard expressions structurally.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// funcBodies visits every top-level function body in the file exactly
+// once. Function literals are analysed as part of the declaration that
+// encloses them, so guards established in the outer scope count for
+// closures too.
+func funcBodies(f *ast.File, visit func(fn ast.Node, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			visit(fd, fd.Body)
+		}
+	}
+}
+
+// object resolves an identifier through Uses then Defs.
+func object(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether the call's result includes an error and
+// how many results it has. ok is false when type information is
+// unavailable for the call.
+func returnsError(info *types.Info, call *ast.CallExpr) (hasErr bool, results int, ok bool) {
+	tv, found := info.Types[call.Fun]
+	if found && tv.IsType() {
+		return false, 1, true // conversion, not a call
+	}
+	rtv, found := info.Types[call]
+	if !found {
+		return false, 0, false
+	}
+	switch t := rtv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+		return hasErr, t.Len(), true
+	default:
+		return isErrorType(rtv.Type), 1, true
+	}
+}
+
+// pkgPathOf returns the import path of the package an identifier's
+// object belongs to ("" for builtins and unresolved identifiers).
+func pkgPathOf(info *types.Info, id *ast.Ident) string {
+	o := object(info, id)
+	if o == nil || o.Pkg() == nil {
+		return ""
+	}
+	return o.Pkg().Path()
+}
+
+// selectorCall matches a call of the form recv.Name(...) and returns
+// the receiver expression and the method name.
+func selectorCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// importsPackage reports whether the file imports the given path, and
+// returns the local name it is bound to ("time", or a rename).
+func importsPackage(f *ast.File, path string) (localName string, ok bool) {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// containsIdentObj reports whether the expression mentions the given
+// object (matching by types.Object when available, by name otherwise).
+func containsIdentObj(info *types.Info, e ast.Expr, obj types.Object, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID {
+			if o := object(info, id); o != nil && obj != nil {
+				if o == obj {
+					found = true
+				}
+			} else if id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

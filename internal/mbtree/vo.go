@@ -243,13 +243,13 @@ func (vo *VO) Encode() []byte {
 			e.Bytes32(*n.Pruned)
 		case n.Kids != nil:
 			e.Uint8(1)
-			e.Uint32(uint32(len(n.Kids)))
+			e.Count(len(n.Kids))
 			for _, k := range n.Kids {
 				enc(k)
 			}
 		default:
 			e.Uint8(2)
-			e.Uint32(uint32(len(n.Entries)))
+			e.Count(len(n.Entries))
 			for _, le := range n.Entries {
 				if le.Rec != nil {
 					e.Uint8(1)

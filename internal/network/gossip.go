@@ -1,7 +1,7 @@
 package network
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -50,15 +50,22 @@ type Gossiper struct {
 // FailureThreshold is how many consecutive failed rounds evict a peer.
 const FailureThreshold = 3
 
-// NewGossiper builds a gossiper over the local applier.
+// NewGossiper builds a gossiper over the local applier, drawing its
+// peer-selection seed from the auto-seeded math/rand/v2 global source.
 func NewGossiper(local Applier, interval time.Duration) *Gossiper {
+	return NewGossiperSeeded(local, interval, rand.Uint64())
+}
+
+// NewGossiperSeeded fixes the peer-selection sequence, so tests and
+// simulations can reproduce a gossip schedule exactly.
+func NewGossiperSeeded(local Applier, interval time.Duration, seed uint64) *Gossiper {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
 	return &Gossiper{
 		local:    local,
 		interval: interval,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:      rand.New(rand.NewPCG(seed, 0)),
 		failures: make(map[string]int),
 	}
 }
@@ -129,7 +136,7 @@ func (g *Gossiper) Round() {
 		g.mu.Unlock()
 		return
 	}
-	i := g.rng.Intn(len(g.peers))
+	i := g.rng.IntN(len(g.peers))
 	peer := g.peers[i]
 	g.mu.Unlock()
 

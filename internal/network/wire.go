@@ -104,7 +104,7 @@ func (s *Server) Serve(ln net.Listener) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer conn.Close() //sebdb:ignore-err best-effort teardown of a finished connection
 			s.serveConn(conn)
 		}()
 	}
@@ -139,21 +139,28 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // Close stops accepting and waits for in-flight connections.
-func (s *Server) Close() {
+func (s *Server) Close() error {
 	close(s.closed)
 	s.mu.RLock()
-	if s.ln != nil {
-		s.ln.Close()
-	}
+	ln := s.ln
 	s.mu.RUnlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
 	s.wg.Wait()
+	return err
 }
 
 // Client is a single-connection request/response client. It is safe for
 // concurrent use; requests are serialised on the connection.
 type Client struct {
-	mu   sync.Mutex
+	// conn is set at construction and never reassigned; mu serialises
+	// request/response pairs on it. Close stays lock-free so it can
+	// unblock a Call hung mid-exchange.
 	conn net.Conn
+
+	mu sync.Mutex
 }
 
 // Dial connects to a server.

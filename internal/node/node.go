@@ -50,14 +50,15 @@ func (n *FullNode) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops serving and gossiping.
-func (n *FullNode) Close() {
+// Close stops serving and gossiping, reporting listener teardown errors.
+func (n *FullNode) Close() error {
 	if n.Gossip != nil {
 		n.Gossip.Stop()
 	}
 	if n.listener != nil {
-		n.server.Close()
+		return n.server.Close()
 	}
+	return nil
 }
 
 func (n *FullNode) handleHeight([]byte) ([]byte, error) {
@@ -89,7 +90,7 @@ func (n *FullNode) handleHeaders(payload []byte) ([]byte, error) {
 	}
 	hs = hs[from:]
 	e := types.NewEncoder(64 * len(hs))
-	e.Uint32(uint32(len(hs)))
+	e.Count(len(hs))
 	for i := range hs {
 		hs[i].Encode(e)
 	}
@@ -178,7 +179,7 @@ func (n *FullNode) handleAuthQuery(payload []byte) ([]byte, error) {
 	ans := auth.Serve(ali, height, eligible, r.Lo, r.Hi)
 	e := types.NewEncoder(1024)
 	e.Uint64(ans.Height)
-	e.Uint32(uint32(len(ans.Blocks)))
+	e.Count(len(ans.Blocks))
 	for _, b := range ans.Blocks {
 		e.Uint64(b.Bid)
 		e.Blob(b.Bytes)
@@ -232,11 +233,11 @@ func (n *FullNode) handleSQL(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	e := types.NewEncoder(1024)
-	e.Uint32(uint32(len(res.Columns)))
+	e.Count(len(res.Columns))
 	for _, c := range res.Columns {
 		e.Str(c)
 	}
-	e.Uint32(uint32(len(res.Rows)))
+	e.Count(len(res.Rows))
 	for _, row := range res.Rows {
 		e.Values(row)
 	}

@@ -53,7 +53,7 @@ func seededNode(t testing.TB, nBlocks, txPerBlock int) *node.FullNode {
 		t.Fatal(err)
 	}
 	n := node.New(e)
-	t.Cleanup(n.Close)
+	t.Cleanup(func() { _ = n.Close() })
 	return n
 }
 

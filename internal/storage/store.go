@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -124,7 +125,9 @@ func (s *Store) recover() error {
 			return fmt.Errorf("storage: %w", err)
 		}
 		valid, err := s.scanSegment(f, n)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("storage: %w", cerr)
+		}
 		if err != nil {
 			return err
 		}
@@ -213,6 +216,9 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 	}
 
 	body := b.EncodeBytes()
+	if int64(len(body)) > math.MaxUint32 {
+		return Location{}, fmt.Errorf("storage: block of %d bytes exceeds the record length prefix", len(body))
+	}
 	rec := make([]byte, headerSize+len(body)+trailerSize)
 	binary.BigEndian.PutUint32(rec, recordMagic)
 	binary.BigEndian.PutUint32(rec[4:], uint32(len(body)))
@@ -339,18 +345,23 @@ func (s *Store) readAt(loc Location) (*types.Block, error) {
 	return types.DecodeBlock(types.NewDecoder(body))
 }
 
-// Close releases the store's file handles.
+// Close releases the store's file handles, reporting the first failure.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
 	for seg, f := range s.readers {
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
 		delete(s.readers, seg)
 	}
 	if s.cur == nil {
-		return nil
+		return err
 	}
-	err := s.cur.Close()
+	if cerr := s.cur.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
 	s.cur = nil
 	return err
 }

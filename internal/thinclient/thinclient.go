@@ -10,7 +10,7 @@ package thinclient
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"sebdb/internal/auth"
 	"sebdb/internal/merkle"
@@ -27,7 +27,7 @@ type Client struct {
 // New returns an empty thin client; seed fixes the auxiliary-node
 // sampling for reproducible tests.
 func New(seed int64) *Client {
-	return &Client{rng: rand.New(rand.NewSource(seed))}
+	return &Client{rng: rand.New(rand.NewPCG(uint64(seed), 0))}
 }
 
 // Height returns the number of synced headers.

@@ -153,7 +153,7 @@ func NewBlock(prev *BlockHeader, txs []*Transaction, timestamp int64, signer str
 // Encode serialises the full block (header + body).
 func (b *Block) Encode(e *Encoder) {
 	b.Header.Encode(e)
-	e.Uint32(uint32(len(b.Txs)))
+	e.Count(len(b.Txs))
 	for _, t := range b.Txs {
 		t.Encode(e)
 	}

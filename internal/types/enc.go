@@ -57,15 +57,25 @@ func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
 // Bytes32 appends a fixed 32-byte array (hashes).
 func (e *Encoder) Bytes32(v [32]byte) { e.buf = append(e.buf, v[:]...) }
 
+// Count appends a uint32 count/length prefix. It panics when n does not
+// fit: a >4 GiB length cannot be represented on the wire, and silently
+// truncating the prefix would desynchronise every decoder downstream.
+func (e *Encoder) Count(n int) {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("types: count %d does not fit the uint32 wire prefix", n))
+	}
+	e.Uint32(uint32(n))
+}
+
 // Blob appends a uint32 length prefix followed by the bytes.
 func (e *Encoder) Blob(v []byte) {
-	e.Uint32(uint32(len(v)))
+	e.Count(len(v))
 	e.buf = append(e.buf, v...)
 }
 
 // Str appends a length-prefixed string.
 func (e *Encoder) Str(v string) {
-	e.Uint32(uint32(len(v)))
+	e.Count(len(v))
 	e.buf = append(e.buf, v...)
 }
 
@@ -85,7 +95,7 @@ func (e *Encoder) Value(v Value) {
 
 // Values appends a count-prefixed slice of values.
 func (e *Encoder) Values(vs []Value) {
-	e.Uint32(uint32(len(vs)))
+	e.Count(len(vs))
 	for _, v := range vs {
 		e.Value(v)
 	}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# verify.sh — the single gate every SEBDB change must pass.
+#
+# Runs formatting, go vet, the project's own sebdb-vet analyzers, the
+# build, the full test suite, and a race pass over the short tests.
+# Everything is stdlib Go; no network or external tools needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== sebdb-vet =="
+go run ./cmd/sebdb-vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race -short =="
+go test -race -short ./...
+
+echo "verify: all gates passed"
