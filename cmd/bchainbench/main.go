@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	bchainbench [-fig N] [-scale S] [-dir DIR]
+//	bchainbench [-fig N] [-scale S] [-dir DIR] [-workers W]
 //
-//	-fig N     regenerate only figure N (7..22); default all
+//	-fig N     regenerate only figure N (7..23, where 23 is the
+//	           parallel read-pipeline scaling sweep); default all
 //	-scale S   dataset scale relative to paper sizes (default 0.05;
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;
 //	           reusing a directory reuses its datasets across runs)
+//	-workers W upper bound of figure 23's worker sweep (default
+//	           GOMAXPROCS)
 package main
 
 import (
@@ -22,10 +25,14 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number (7-22); 0 = all")
+	fig := flag.Int("fig", 0, "figure number (7-23); 0 = all")
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
+	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers > 0 {
+		bench.MaxWorkers = *workers
+	}
 
 	scratch := *dir
 	if scratch == "" {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
-//	    [-peer host:port]... [-signer node0] [-auth table.col]...
+//	    [-peer host:port]... [-signer node0] [-auth table.col]... \
+//	    [-parallel N]
 //
 // A standalone node packages its own blocks (submit transactions via
 // the SQL interface, e.g. from sebdb-cli); nodes with peers follow the
@@ -40,6 +41,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	signer := flag.String("signer", "node0", "block signer identity")
 	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
+	par := flag.Int("parallel", 0, "read-pipeline workers for scans, replay and backfill (0 = GOMAXPROCS, 1 = sequential)")
 	var peers, authIdx listFlag
 	flag.Var(&peers, "peer", "peer address (repeatable)")
 	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
@@ -57,7 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode})
+	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode, Parallelism: *par})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)

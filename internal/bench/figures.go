@@ -13,12 +13,14 @@ type Figure struct {
 	Run func(dir string, scale float64) (*Table, error)
 }
 
-// Figures lists every evaluation figure of the paper in order.
+// Figures lists every evaluation figure of the paper in order, plus
+// entry 23: the parallel read pipeline's worker-scaling sweep (ours,
+// not the paper's — the paper's runs are single-threaded).
 var Figures = []Figure{
 	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
 	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
 	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
-	{22, Fig22},
+	{22, Fig22}, {23, FigParallel},
 }
 
 // RunFigure regenerates one figure by number and prints its table.
@@ -33,7 +35,7 @@ func RunFigure(w io.Writer, num int, dir string, scale float64) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("bench: no figure %d (have 7..22)", num)
+	return fmt.Errorf("bench: no figure %d (have 7..23)", num)
 }
 
 // RunAll regenerates every figure in order.

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+
+	"sebdb/internal/core"
+	"sebdb/internal/exec"
+)
+
+// MaxWorkers bounds the worker sweep of the parallel-scaling entry
+// (figure 23); bchainbench's -workers flag overrides it. The sweep
+// runs 1, 2, 4, ... doubling up to this bound.
+var MaxWorkers = runtime.GOMAXPROCS(0)
+
+// workerSteps returns the 1, 2, 4, ..., max sweep, always ending at
+// max itself.
+func workerSteps(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// FigParallel — not a paper figure: Q4 (range query) latency under the
+// three access methods as the read pipeline's worker bound grows. The
+// scan path fans whole-block fetch + predicate evaluation across the
+// pool, so it should speed up with workers until the disk or
+// GOMAXPROCS saturates; the layered path parallelizes its per-block
+// B+-tree probes, so its gain tracks the number of candidate blocks.
+func FigParallel(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 23 — parallel read pipeline: Q4 latency at 1..%d workers", MaxWorkers),
+		Header: []string{"workers", "scan", "bitmap", "layered"},
+		Note:   "scan/bitmap should drop as workers grow; all methods return identical results",
+	}
+	blocks := scaled(2_000, scale, 40)
+	result := scaled(10_000, scale, 200)
+	e, err := NewEngine(filepath.Join(dir, "figp"), core.CacheNone)
+	if err != nil {
+		return nil, err
+	}
+	if e.Height() == 0 {
+		err = LoadRange(e, GenConfig{
+			Blocks: blocks, TxPerBlock: 100, ResultSize: result,
+			Dist: Uniform, Seed: 1,
+		})
+	} else {
+		err = e.CreateIndex("donate", "amount")
+	}
+	if err != nil {
+		e.Close() //sebdb:ignore-err best-effort cleanup on the error path
+		return nil, err
+	}
+	defer e.Close() //sebdb:ignore-err best-effort cleanup; reads only
+
+	want := -1
+	for _, w := range workerSteps(MaxWorkers) {
+		e.SetParallelism(w)
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap, exec.MethodLayered} {
+			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, m) })
+			if err != nil {
+				return nil, err
+			}
+			if want < 0 {
+				want = n
+			}
+			if n != want {
+				return nil, fmt.Errorf("fig23: %s at %d workers returned %d rows, want %d", m, w, n, want)
+			}
+			row = append(row, ms(d))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -7,6 +7,8 @@ import (
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
+	"sebdb/internal/mbtree"
+	"sebdb/internal/parallel"
 	"sebdb/internal/schema"
 	"sebdb/internal/types"
 )
@@ -32,7 +34,13 @@ func (e *Engine) Block(bid uint64) (*types.Block, error) {
 		return nil, err
 	}
 	if e.blockCache != nil {
-		e.blockCache.Put(key, b, int64(len(b.EncodeBytes())))
+		// The store knows the block's encoded length; re-serializing the
+		// block just to size the cache entry would double the miss cost.
+		size, err := e.store.BodyLen(bid)
+		if err != nil {
+			return nil, err
+		}
+		e.blockCache.Put(key, b, size)
 	}
 	return b, nil
 }
@@ -108,26 +116,41 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 
 // sampleColumn collects up to limit values of table.col from the chain
 // for histogram construction (§IV-B: "created by sampling historical
-// transactions during index creating").
+// transactions during index creating"). Blocks are decoded by the
+// worker pool; values are concatenated in height order and trimmed at
+// limit, so the sample matches a sequential scan exactly.
 func (e *Engine) sampleColumn(spec indexSpec, limit int) ([]float64, error) {
 	var out []float64
-	for bid := 0; bid < e.store.Count() && len(out) < limit; bid++ {
-		b, err := e.Block(uint64(bid))
-		if err != nil {
-			return nil, err
-		}
-		for _, tx := range b.Txs {
-			v, ok, err := e.valueFor(spec, tx)
+	err := parallel.Ordered(e.Parallelism(), e.store.Count(),
+		func(bid int) ([]float64, error) {
+			b, err := e.Block(uint64(bid))
 			if err != nil {
 				return nil, err
 			}
-			if ok && v.Numeric() {
-				out = append(out, v.Float())
-				if len(out) >= limit {
-					break
+			var vals []float64
+			for _, tx := range b.Txs {
+				v, ok, err := e.valueFor(spec, tx)
+				if err != nil {
+					return nil, err
+				}
+				if ok && v.Numeric() {
+					vals = append(vals, v.Float())
 				}
 			}
-		}
+			return vals, nil
+		},
+		func(_ int, vals []float64) error {
+			out = append(out, vals...)
+			if len(out) >= limit {
+				return parallel.Stop
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > limit {
+		out = out[:limit]
 	}
 	return out, nil
 }
@@ -163,28 +186,51 @@ func (e *Engine) CreateIndex(table, col string) error {
 	} else {
 		idx = layered.NewDiscrete(col)
 	}
-	if err := e.backfillLayered(spec, idx); err != nil {
+	// Backfill without holding e.mu so commits keep flowing, then close
+	// the gap under the lock: blocks committed after the snapshot are
+	// indexed before the map registration makes the index visible
+	// (commits take e.mu too), so no committed block is ever missed.
+	done := uint64(e.store.Count())
+	if err := e.backfillLayered(spec, idx, 0, done); err != nil {
 		return err
 	}
 	e.mu.Lock()
+	if _, exists := e.lidx[spec.key()]; exists {
+		e.mu.Unlock()
+		return nil
+	}
+	if err := e.backfillLayered(spec, idx, done, uint64(e.store.Count())); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	e.lidx[spec.key()] = idx
 	e.mu.Unlock()
 	return e.saveIndexMeta()
 }
 
-func (e *Engine) backfillLayered(spec indexSpec, idx *layered.Index) error {
-	for bid := 0; bid < e.store.Count(); bid++ {
-		b, err := e.Block(uint64(bid))
-		if err != nil {
-			return err
-		}
-		entries, err := e.entriesFor(spec.key(), b)
-		if err != nil {
-			return err
-		}
-		idx.AppendBlock(uint64(bid), entries)
+// backfillLayered feeds the blocks of [lo, hi) to idx, decoding ahead
+// with the worker pool; AppendBlock runs on this goroutine in height
+// order, as the layered index requires.
+func (e *Engine) backfillLayered(spec indexSpec, idx *layered.Index, lo, hi uint64) error {
+	if lo >= hi {
+		return nil
 	}
-	return nil
+	it, err := e.store.Blocks(lo, hi)
+	if err != nil {
+		return err
+	}
+	return parallel.Ordered(e.Parallelism(), it.Len(),
+		func(i int) ([]layered.Entry, error) {
+			b, err := it.Read(lo + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			return e.entriesFor(spec.key(), b)
+		},
+		func(i int, entries []layered.Entry) error {
+			idx.AppendBlock(lo+uint64(i), entries)
+			return nil
+		})
 }
 
 // CreateAuthIndex creates an ALI on table.col ("" table addresses the
@@ -227,21 +273,48 @@ func (e *Engine) CreateAuthIndex(table, col string) error {
 	} else {
 		ali = auth.NewDiscrete(col, e.cfg.MBTreeFanout)
 	}
-	for bid := 0; bid < e.store.Count(); bid++ {
-		b, err := e.Block(uint64(bid))
-		if err != nil {
-			return err
-		}
-		recs, err := e.recordsFor(spec.key(), b)
-		if err != nil {
-			return err
-		}
-		ali.AppendBlock(uint64(bid), recs)
+	// Same registration protocol as CreateIndex: lock-free backfill,
+	// then close the commit gap under e.mu before going visible.
+	done := uint64(e.store.Count())
+	if err := e.backfillALI(spec, ali, 0, done); err != nil {
+		return err
 	}
 	e.mu.Lock()
+	if _, exists := e.alis[spec.key()]; exists {
+		e.mu.Unlock()
+		return nil
+	}
+	if err := e.backfillALI(spec, ali, done, uint64(e.store.Count())); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	e.alis[spec.key()] = ali
 	e.mu.Unlock()
 	return e.saveIndexMeta()
+}
+
+// backfillALI feeds the blocks of [lo, hi) to ali, decoding ahead with
+// the worker pool and appending in height order.
+func (e *Engine) backfillALI(spec indexSpec, ali *auth.ALI, lo, hi uint64) error {
+	if lo >= hi {
+		return nil
+	}
+	it, err := e.store.Blocks(lo, hi)
+	if err != nil {
+		return err
+	}
+	return parallel.Ordered(e.Parallelism(), it.Len(),
+		func(i int) ([]mbtree.Record, error) {
+			b, err := it.Read(lo + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			return e.recordsFor(spec.key(), b)
+		},
+		func(i int, recs []mbtree.Record) error {
+			ali.AppendBlock(lo+uint64(i), recs)
+			return nil
+		})
 }
 
 // AuthIndex returns the ALI on table.col, or nil.

@@ -11,6 +11,7 @@ package core
 import (
 	"crypto/ed25519"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sebdb/internal/accessctl"
@@ -21,6 +22,7 @@ import (
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
 	"sebdb/internal/mbtree"
+	"sebdb/internal/parallel"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/schema"
 	"sebdb/internal/storage"
@@ -57,6 +59,10 @@ type Config struct {
 	HistogramDepth int
 	// MBTreeFanout is the ALI page fanout (default mbtree.DefaultFanout).
 	MBTreeFanout int
+	// Parallelism bounds the worker pool of the read pipeline: parallel
+	// scans, chain replay on Open, and index backfill. Zero means
+	// GOMAXPROCS; 1 makes every read path sequential.
+	Parallelism int
 	// Signer names this node as block packager; Key signs headers.
 	Signer string
 	Key    ed25519.PrivateKey
@@ -74,6 +80,9 @@ func (c *Config) fill() {
 	}
 	if c.HistogramDepth == 0 {
 		c.HistogramDepth = 100
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = parallel.Default()
 	}
 	if c.Signer == "" {
 		c.Signer = "node0"
@@ -106,6 +115,10 @@ type Engine struct {
 	// internal locks, so readers reach them without taking e.mu.
 	blockIdx *blockindex.Index
 	tableIdx *bitmap.TableIndex // keys: table names and "senid:<id>"
+
+	// par is the read pipeline's worker bound (Config.Parallelism),
+	// atomic so SetParallelism can retune it while queries run.
+	par atomic.Int32
 
 	mu      sync.RWMutex // guards the index maps and the write path
 	lidx    map[string]*layered.Index
@@ -143,6 +156,7 @@ func Open(cfg Config) (*Engine, error) {
 		acl:       accessctl.New(),
 		contracts: contract.NewRegistry(),
 	}
+	e.par.Store(int32(cfg.Parallelism))
 	switch cfg.CacheMode {
 	case CacheBlocks:
 		e.blockCache = cache.NewLRU(cfg.CacheBytes)
@@ -155,13 +169,19 @@ func Open(cfg Config) (*Engine, error) {
 	e.lidx[".senid"] = layered.NewDiscrete("senid")
 	e.lidx[".tname"] = layered.NewDiscrete("tname")
 
-	// Replay existing blocks: catalog, indexes and counters.
-	for bid := 0; bid < st.Count(); bid++ {
-		b, err := st.Block(uint64(bid))
+	// Replay existing blocks: catalog, indexes and counters. Blocks are
+	// decoded ahead by the worker pool; indexing itself stays on this
+	// goroutine in height order (Tids, bitmaps and layered appends all
+	// assume blocks arrive in order).
+	if n := st.Count(); n > 0 {
+		it, err := st.Blocks(0, uint64(n))
 		if err != nil {
 			return nil, err
 		}
-		if err := e.indexBlock(b); err != nil {
+		err = parallel.Ordered(e.Parallelism(), n,
+			func(bid int) (*types.Block, error) { return it.Read(uint64(bid)) },
+			func(_ int, b *types.Block) error { return e.indexBlock(b) })
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -189,6 +209,25 @@ func (e *Engine) Catalog() *schema.Catalog { return e.catalog }
 
 // Height returns the chain height (number of blocks).
 func (e *Engine) Height() uint64 { return uint64(e.store.Count()) }
+
+// Parallelism returns the read pipeline's worker bound (>= 1); the
+// engine satisfies exec.ParallelChain with it.
+func (e *Engine) Parallelism() int {
+	if n := int(e.par.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// SetParallelism retunes the worker bound at runtime; values below 1
+// make reads sequential. The benchmark harness uses it to sweep the
+// worker axis over one loaded chain.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.par.Store(int32(n))
+}
 
 // Headers returns all block headers (what a thin client syncs).
 func (e *Engine) Headers() []types.BlockHeader { return e.store.Headers() }

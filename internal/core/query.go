@@ -459,6 +459,11 @@ func (e *Engine) projectOnOff(onName, offName string, rows []exec.OnOffRow) (*Re
 // execGetBlock implements GET BLOCK ID|TID|TS=? (Q7) through the
 // block-level index.
 func (e *Engine) execGetBlock(s *sqlparser.GetBlock) (*Result, error) {
+	// Block ids and Tids are unsigned; a negative literal would wrap to
+	// a huge id under the uint64 conversion instead of failing.
+	if s.Val < 0 && s.By != sqlparser.ByTs {
+		return nil, fmt.Errorf("core: GET BLOCK ID/TID must be non-negative, got %d", s.Val)
+	}
 	var bid uint64
 	var ok bool
 	switch s.By {

@@ -9,10 +9,12 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
+	"sebdb/internal/parallel"
 	"sebdb/internal/schema"
 	"sebdb/internal/sqlparser"
 	"sebdb/internal/types"
@@ -194,29 +196,50 @@ func Select(c Chain, table string, preds []sqlparser.Pred, win *sqlparser.Window
 		return nil, st, fmt.Errorf("exec: unknown method %v", m)
 	}
 
+	// Fan block fetch + predicate evaluation across the worker pool and
+	// merge per-block results back in chain order; Stats are summed in
+	// the same order, so they match a sequential run exactly.
+	ids := blockIDs(blocks)
 	var out []*types.Transaction
-	var scanErr error
-	blocks.ForEach(func(bid int) bool {
-		b, err := c.Block(uint64(bid))
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		st.BlocksRead++
-		for _, tx := range b.Txs {
-			st.TxsExamined++
-			ok, err := matches(tbl, tx, preds, win)
+	err = parallel.Ordered(workersOf(c), len(ids),
+		func(i int) (blockMatches, error) {
+			b, err := c.Block(ids[i])
 			if err != nil {
-				scanErr = err
-				return false
+				return blockMatches{}, err
 			}
-			if ok {
-				out = append(out, tx)
+			p := blockMatches{st: Stats{BlocksRead: 1}}
+			for _, tx := range b.Txs {
+				p.st.TxsExamined++
+				ok, err := matches(tbl, tx, preds, win)
+				if err != nil {
+					return blockMatches{}, err
+				}
+				if ok {
+					p.txs = append(p.txs, tx)
+				}
 			}
-		}
-		return true
-	})
-	return out, st, scanErr
+			return p, nil
+		},
+		func(_ int, p blockMatches) error {
+			out = append(out, p.txs...)
+			st.add(p.st)
+			return nil
+		})
+	return out, st, err
+}
+
+// blockMatches carries one block's matching transactions and the
+// physical work spent finding them through the parallel merge.
+type blockMatches struct {
+	txs []*types.Transaction
+	st  Stats
+}
+
+// add accumulates another block's counters.
+func (s *Stats) add(o Stats) {
+	s.BlocksRead += o.BlocksRead
+	s.TxsExamined += o.TxsExamined
+	s.IndexProbes += o.IndexProbes
 }
 
 // pickLayered chooses the layered index (and the predicate that drives
@@ -232,36 +255,49 @@ func pickLayered(c Chain, tbl *schema.Table, preds []sqlparser.Pred) (*layered.I
 
 // layeredSelect is the layered-index access path: first-level filter to
 // candidate blocks, second-level B+-tree probe per block, then residual
-// predicate evaluation on the fetched transactions.
+// predicate evaluation on the fetched transactions. The per-block
+// probes fan across the worker pool; each block's matched positions are
+// sorted before fetching so the merged result preserves chain order
+// (the B+-tree iterates in key order, not position order).
 func layeredSelect(c Chain, tbl *schema.Table, idx *layered.Index, drive *sqlparser.Pred,
 	preds []sqlparser.Pred, win *sqlparser.Window, blocks *bitmap.Bitmap) ([]*types.Transaction, Stats, error) {
 	var st Stats
 	lo, hi, _ := predBounds(*drive)
 	cand := idx.CandidateBlocks(lo, hi)
 	cand.And(blocks)
+	ids := blockIDs(cand)
 
 	var out []*types.Transaction
-	var ferr error
-	cand.ForEach(func(bid int) bool {
-		st.IndexProbes++
-		idx.BlockRange(uint64(bid), lo, hi, func(_ types.Value, pos uint32) bool {
-			tx, err := c.Tx(uint64(bid), pos)
-			if err != nil {
-				ferr = err
-				return false
+	err := parallel.Ordered(workersOf(c), len(ids),
+		func(i int) (blockMatches, error) {
+			bid := ids[i]
+			p := blockMatches{st: Stats{IndexProbes: 1}}
+			var poss []uint32
+			idx.BlockRange(bid, lo, hi, func(_ types.Value, pos uint32) bool {
+				poss = append(poss, pos)
+				return true
+			})
+			sort.Slice(poss, func(a, b int) bool { return poss[a] < poss[b] })
+			for _, pos := range poss {
+				tx, err := c.Tx(bid, pos)
+				if err != nil {
+					return blockMatches{}, err
+				}
+				p.st.TxsExamined++
+				ok, err := matches(tbl, tx, preds, win)
+				if err != nil {
+					return blockMatches{}, err
+				}
+				if ok {
+					p.txs = append(p.txs, tx)
+				}
 			}
-			st.TxsExamined++
-			ok, err := matches(tbl, tx, preds, win)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if ok {
-				out = append(out, tx)
-			}
-			return true
+			return p, nil
+		},
+		func(_ int, p blockMatches) error {
+			out = append(out, p.txs...)
+			st.add(p.st)
+			return nil
 		})
-		return ferr == nil
-	})
-	return out, st, ferr
+	return out, st, err
 }

@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderedPreservesOrder checks that consume sees every index in
+// order even when workers finish out of order.
+func TestOrderedPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 500
+		var got []int
+		err := Ordered(workers, n,
+			func(i int) (int, error) {
+				// Skew the work so later indexes often finish first.
+				v := 0
+				for k := 0; k < (n-i)*50; k++ {
+					v += k
+				}
+				_ = v
+				return i * 2, nil
+			},
+			func(i, v int) error {
+				if v != i*2 {
+					return fmt.Errorf("index %d got value %d", i, v)
+				}
+				got = append(got, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: consumed %d of %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*2 {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestOrderedLowestErrorWins checks the deterministic error contract:
+// the lowest failing index's error is returned and consume saw exactly
+// the indexes before it.
+func TestOrderedLowestErrorWins(t *testing.T) {
+	fail := map[int]bool{7: true, 3: true, 90: true}
+	for _, workers := range []int{1, 4, 16} {
+		consumed := 0
+		err := Ordered(workers, 100,
+			func(i int) (int, error) {
+				if fail[i] {
+					return 0, fmt.Errorf("boom %d", i)
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				consumed++
+				return nil
+			})
+		if err == nil || err.Error() != "boom 3" {
+			t.Fatalf("workers=%d: got err %v, want boom 3", workers, err)
+		}
+		if consumed != 3 {
+			t.Fatalf("workers=%d: consumed %d indexes, want 3", workers, consumed)
+		}
+	}
+}
+
+// TestOrderedStop checks early termination via the Stop sentinel.
+func TestOrderedStop(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var got []int
+		err := Ordered(workers, 1000,
+			func(i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				got = append(got, v)
+				if len(got) >= 10 {
+					return Stop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: consumed %d, want 10", workers, len(got))
+		}
+	}
+}
+
+// TestOrderedConsumeError checks that a non-Stop consume error is
+// returned as-is.
+func TestOrderedConsumeError(t *testing.T) {
+	want := errors.New("consume failed")
+	err := Ordered(4, 50,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 5 {
+				return want
+			}
+			return nil
+		})
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+// TestOrderedBoundsWorkers checks the pool never runs more than the
+// requested number of produce calls at once.
+func TestOrderedBoundsWorkers(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int32
+	err := Ordered(workers, 200,
+		func(i int) (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+// TestOrderedEmpty checks the degenerate sizes.
+func TestOrderedEmpty(t *testing.T) {
+	called := false
+	err := Ordered(8, 0,
+		func(i int) (int, error) { called = true; return 0, nil },
+		func(int, int) error { called = true; return nil })
+	if err != nil || called {
+		t.Fatalf("empty run: err=%v called=%v", err, called)
+	}
+}

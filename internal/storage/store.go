@@ -72,6 +72,11 @@ type Store struct {
 	// They make ReadTx a single tuple-sized random read — the p*(t_S+t_T)
 	// cost the paper's Equation 3 models for the layered index.
 	txOffs [][]uint32
+	// lens[i] is the encoded body length of block i as stored on disk,
+	// so callers can account for a block's footprint (cache sizing) and
+	// the Blocks iterator can read bodies without re-reading record
+	// headers.
+	lens []int64
 	// readers caches read-only handles per segment; segments are
 	// immutable once rolled and the current one is append-only, so
 	// positional reads through a shared handle are safe.
@@ -183,6 +188,7 @@ func (s *Store) scanSegment(f *os.File, seg uint32) (int64, error) {
 		s.headers = append(s.headers, b.Header)
 		s.txBase = append(s.txBase, b.Header.FirstTid)
 		s.txOffs = append(s.txOffs, offs)
+		s.lens = append(s.lens, int64(n))
 		off += headerSize + int64(n) + trailerSize
 	}
 }
@@ -248,6 +254,7 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 		return Location{}, fmt.Errorf("storage: offsets: %w", err)
 	}
 	s.txOffs = append(s.txOffs, offs)
+	s.lens = append(s.lens, int64(len(body)))
 	return loc, nil
 }
 
@@ -412,6 +419,84 @@ func decodeBlockOffsets(body []byte) (*types.Block, []uint32, error) {
 	}
 	offs[n] = uint32(d.Offset())
 	return b, offs, nil
+}
+
+// BodyLen returns the encoded length in bytes of the block stored at
+// the given height — the exact size Append wrote — so callers can
+// account for a block's storage footprint without re-encoding it.
+func (s *Store) BodyLen(height uint64) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if height >= uint64(len(s.lens)) {
+		return 0, ErrNoBlock
+	}
+	return s.lens[height], nil
+}
+
+// Iter is a read-only snapshot over the block height range [lo, hi):
+// locations, body lengths and segment handles are resolved once at
+// construction, so the workers of a parallel read pipeline issue pure
+// positional reads without re-taking the store lock per block.
+type Iter struct {
+	lo, hi  uint64
+	locs    []Location
+	lens    []int64
+	readers map[uint32]*os.File
+}
+
+// Blocks snapshots the range [lo, hi) for iteration, clamping hi to
+// the current chain height. Blocks appended after the call are not
+// part of the snapshot. The iterator shares the store's segment
+// handles; it stops working once the store is closed.
+func (s *Store) Blocks(lo, hi uint64) (*Iter, error) {
+	s.mu.RLock()
+	if hi > uint64(len(s.locs)) {
+		hi = uint64(len(s.locs))
+	}
+	if lo > hi {
+		lo = hi
+	}
+	it := &Iter{lo: lo, hi: hi, readers: make(map[uint32]*os.File)}
+	if lo < hi {
+		it.locs = append([]Location(nil), s.locs[lo:hi]...)
+		it.lens = append([]int64(nil), s.lens[lo:hi]...)
+	}
+	s.mu.RUnlock()
+	for _, loc := range it.locs {
+		if _, ok := it.readers[loc.Segment]; !ok {
+			f, err := s.reader(loc.Segment)
+			if err != nil {
+				return nil, err
+			}
+			it.readers[loc.Segment] = f
+		}
+	}
+	return it, nil
+}
+
+// Lo returns the first height of the snapshot.
+func (it *Iter) Lo() uint64 { return it.lo }
+
+// Hi returns the exclusive upper height of the snapshot.
+func (it *Iter) Hi() uint64 { return it.hi }
+
+// Len returns the number of blocks in the snapshot.
+func (it *Iter) Len() int { return int(it.hi - it.lo) }
+
+// Read decodes the block at the given absolute height, which must lie
+// within the snapshot's range. It takes no locks and is safe for
+// concurrent use by multiple workers.
+func (it *Iter) Read(height uint64) (*types.Block, error) {
+	if height < it.lo || height >= it.hi {
+		return nil, ErrNoBlock
+	}
+	i := height - it.lo
+	loc := it.locs[i]
+	body := make([]byte, it.lens[i])
+	if _, err := it.readers[loc.Segment].ReadAt(body, loc.Offset+headerSize); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return types.DecodeBlock(types.NewDecoder(body))
 }
 
 // ReadTx reads a single transaction with one tuple-sized random read —
