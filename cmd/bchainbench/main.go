@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bchainbench [-fig N] [-scale S] [-dir DIR] [-workers W]
+//	bchainbench [-fig N] [-scale S] [-dir DIR] [-workers W] [-json PATH]
 //
 //	-fig N     regenerate only figure N (7..23, where 23 is the
 //	           parallel read-pipeline scaling sweep); default all
@@ -14,6 +14,8 @@
 //	           reusing a directory reuses its datasets across runs)
 //	-workers W upper bound of figure 23's worker sweep (default
 //	           GOMAXPROCS)
+//	-json PATH also write the generated tables as a JSON array of
+//	           {figure, title, x, series, values} objects
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
 	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 	if *workers > 0 {
 		bench.MaxWorkers = *workers
@@ -45,14 +48,42 @@ func main() {
 		defer os.RemoveAll(scratch) //sebdb:ignore-err scratch directory removal at process exit
 	}
 
-	var err error
+	nums := make([]int, 0, len(bench.Figures))
 	if *fig == 0 {
-		err = bench.RunAll(os.Stdout, scratch, *scale)
+		for _, f := range bench.Figures {
+			nums = append(nums, f.Num)
+		}
 	} else {
-		err = bench.RunFigure(os.Stdout, *fig, scratch, *scale)
+		nums = append(nums, *fig)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bchainbench:", err)
-		os.Exit(1)
+
+	var results []bench.FigureJSON
+	for _, num := range nums {
+		t, err := bench.FigureTable(num, scratch, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bchainbench:", err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonPath != "" {
+			results = append(results, bench.TableJSON(num, t))
+		}
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bchainbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, results); err == nil {
+			err = f.Close()
+		} else {
+			f.Close() //sebdb:ignore-err encode error already reported
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bchainbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -14,8 +14,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +26,7 @@ import (
 
 	"sebdb/internal/core"
 	"sebdb/internal/node"
+	"sebdb/internal/obs"
 )
 
 type listFlag []string
@@ -42,6 +46,7 @@ func main() {
 	signer := flag.String("signer", "node0", "block signer identity")
 	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
 	par := flag.Int("parallel", 0, "read-pipeline workers for scans, replay and backfill (0 = GOMAXPROCS, 1 = sequential)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	var peers, authIdx listFlag
 	flag.Var(&peers, "peer", "peer address (repeatable)")
 	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
@@ -83,6 +88,23 @@ func main() {
 			// table is on chain.
 			fmt.Fprintf(os.Stderr, "warning: auth index %s: %v\n", spec, err)
 		}
+	}
+
+	if *metricsAddr != "" {
+		registerEngineMetrics(obs.Default, engine)
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics listen:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: metricsMux(obs.Default)}
+		go func() {
+			if err := srv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "metrics serve:", err)
+			}
+		}()
+		defer srv.Close() //sebdb:ignore-err best-effort teardown of the metrics listener at exit
+		fmt.Printf("sebdb-server: metrics on http://%s/metrics\n", ml.Addr())
 	}
 
 	n := node.New(engine)

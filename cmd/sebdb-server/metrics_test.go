@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sebdb/internal/clock"
+	"sebdb/internal/core"
+	"sebdb/internal/obs"
+	"sebdb/internal/types"
+)
+
+// TestMetricsEndpoints drives the whole observability surface end to
+// end: a live engine behind the metrics mux, a query and an EXPLAIN
+// ANALYZE to populate the registry, then all three endpoints.
+func TestMetricsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry(clock.UnixMicro)
+	e, err := core.Open(core.Config{Dir: t.TempDir(), Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Execute(`CREATE donate (donor string, amount int)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Execute(`INSERT INTO donate VALUES (?, ?)`,
+			types.Str("d"), types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`SELECT * FROM donate WHERE amount >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(`EXPLAIN ANALYZE SELECT * FROM donate WHERE amount >= 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("EXPLAIN ANALYZE returned %d stages, want >= 3", len(res.Rows))
+	}
+
+	registerEngineMetrics(reg, e)
+	srv := httptest.NewServer(metricsMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE ",
+		"sebdb_chain_height 1",
+		`sebdb_stage_micros_bucket{stage="query",le="+Inf"}`,
+		`sebdb_exec_blocks_read_total{op="select",method=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := vars[section]; !ok {
+			t.Errorf("/debug/vars missing section %q", section)
+		}
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}

@@ -23,19 +23,28 @@ var Figures = []Figure{
 	{22, Fig22}, {23, FigParallel},
 }
 
-// RunFigure regenerates one figure by number and prints its table.
-func RunFigure(w io.Writer, num int, dir string, scale float64) error {
+// FigureTable regenerates one figure by number and returns its table.
+func FigureTable(num int, dir string, scale float64) (*Table, error) {
 	for _, f := range Figures {
 		if f.Num == num {
 			t, err := f.Run(dir, scale)
 			if err != nil {
-				return fmt.Errorf("fig %d: %w", num, err)
+				return nil, fmt.Errorf("fig %d: %w", num, err)
 			}
-			t.Fprint(w)
-			return nil
+			return t, nil
 		}
 	}
-	return fmt.Errorf("bench: no figure %d (have 7..23)", num)
+	return nil, fmt.Errorf("bench: no figure %d (have 7..23)", num)
+}
+
+// RunFigure regenerates one figure by number and prints its table.
+func RunFigure(w io.Writer, num int, dir string, scale float64) error {
+	t, err := FigureTable(num, dir, scale)
+	if err != nil {
+		return err
+	}
+	t.Fprint(w)
+	return nil
 }
 
 // RunAll regenerates every figure in order.

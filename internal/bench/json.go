@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// FigureJSON is one figure's table in machine-readable form, for
+// plotting pipelines that consume `bchainbench -json`.
+type FigureJSON struct {
+	// Figure is the paper's figure number.
+	Figure int `json:"figure"`
+	// Title is the table title.
+	Title string `json:"title"`
+	// X is the x-axis label (Header[0]).
+	X string `json:"x"`
+	// Series are the remaining column names.
+	Series []string `json:"series"`
+	// Values holds the formatted cells, one row per x point; each row's
+	// first element is the x value.
+	Values [][]string `json:"values"`
+}
+
+// TableJSON converts a rendered table to its JSON form.
+func TableJSON(num int, t *Table) FigureJSON {
+	out := FigureJSON{Figure: num, Title: t.Title, Values: t.Rows}
+	if len(t.Header) > 0 {
+		out.X = t.Header[0]
+		out.Series = t.Header[1:]
+	}
+	if out.Values == nil {
+		out.Values = [][]string{}
+	}
+	return out
+}
+
+// WriteJSON renders a list of figure results as an indented JSON
+// array.
+func WriteJSON(w io.Writer, figs []FigureJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(figs)
+}

@@ -19,7 +19,7 @@ type LRU struct {
 	ll    *list.List
 	items map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type entry struct {
@@ -73,6 +73,7 @@ func (c *LRU) Put(key string, val any, size int64) {
 		delete(c.items, e.key)
 		c.ll.Remove(back)
 		c.used -= e.size
+		c.evictions++
 	}
 }
 
@@ -97,11 +98,38 @@ func (c *LRU) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// Counters is a point-in-time snapshot of a cache's statistics and
+// occupancy.
+type Counters struct {
+	// Hits and Misses are cumulative Get outcomes.
+	Hits, Misses uint64
+	// Evictions is the cumulative number of entries dropped to stay
+	// within capacity (capacity misses, not Reset).
+	Evictions uint64
+	// Bytes is the accounted size of the entries currently cached.
+	Bytes int64
+	// Entries is the number of entries currently cached.
+	Entries int
+}
+
+// Counters snapshots the cache's statistics and occupancy at once.
+func (c *LRU) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.used,
+		Entries:   c.ll.Len(),
+	}
+}
+
 // Reset drops all entries and statistics.
 func (c *LRU) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll = list.New()
 	c.items = make(map[string]*list.Element)
-	c.used, c.hits, c.misses = 0, 0, 0
+	c.used, c.hits, c.misses, c.evictions = 0, 0, 0, 0
 }

@@ -115,3 +115,28 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Used = %d exceeds cap after concurrent load", c.Used())
 	}
 }
+
+// TestCountersEvictions checks the full Counters snapshot: eviction
+// counting under pressure, occupancy, and Reset zeroing everything.
+func TestCountersEvictions(t *testing.T) {
+	c := NewLRU(30)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10) // cap 30: holds 3, evicts 2
+	}
+	c.Get("k4")
+	c.Get("gone")
+	cs := c.Counters()
+	if cs.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", cs.Evictions)
+	}
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", cs.Hits, cs.Misses)
+	}
+	if cs.Entries != 3 || cs.Bytes != 30 {
+		t.Errorf("occupancy = %d entries / %d bytes, want 3/30", cs.Entries, cs.Bytes)
+	}
+	c.Reset()
+	if got := c.Counters(); got != (Counters{}) {
+		t.Errorf("counters after Reset = %+v, want zero", got)
+	}
+}

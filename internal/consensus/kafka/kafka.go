@@ -178,6 +178,8 @@ func (b *Broker) cut() {
 			txs[i] = p.tx
 		}
 		ts := b.opts.Now()
+		mBatches.Inc()
+		mBatchTxs.Observe(int64(len(txs)))
 		var err error
 		for _, sub := range subs {
 			// Each node packages the identical ordered batch; the clones
@@ -186,6 +188,7 @@ func (b *Broker) cut() {
 				err = e
 			}
 		}
+		mCommitMicros.Observe(b.opts.Now() - ts)
 		for _, p := range batch {
 			p.done <- err
 		}

@@ -1,0 +1,12 @@
+package kafka
+
+import "sebdb/internal/obs"
+
+// Ordering-service metrics, reported to the default registry. Batch
+// sizes use the coarse batch-size bounds; commit latency is the time
+// (broker clock) spent fanning one cut batch to every subscriber.
+var (
+	mBatches      = obs.Default.Counter("sebdb_kafka_batches_total")
+	mBatchTxs     = obs.Default.Histogram("sebdb_kafka_batch_txs", obs.BatchSizeBounds...)
+	mCommitMicros = obs.Default.Histogram("sebdb_kafka_commit_micros")
+)

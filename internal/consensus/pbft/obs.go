@@ -1,0 +1,13 @@
+package pbft
+
+import "sebdb/internal/obs"
+
+// PBFT metrics, reported to the default registry. View changes count
+// cluster-level view lifts (once per adopted view, not per replica);
+// commit latency is one replica's CommitBlock of a decided batch.
+var (
+	mBatches      = obs.Default.Counter("sebdb_pbft_batches_total")
+	mBatchTxs     = obs.Default.Histogram("sebdb_pbft_batch_txs", obs.BatchSizeBounds...)
+	mCommitMicros = obs.Default.Histogram("sebdb_pbft_commit_micros")
+	mViewChanges  = obs.Default.Counter("sebdb_pbft_view_changes_total")
+)

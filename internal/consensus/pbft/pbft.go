@@ -437,7 +437,11 @@ func (r *replica) handle(m message) {
 			// new primary.
 			for {
 				cur := c.curView.Load()
-				if int64(m.view) <= cur || c.curView.CompareAndSwap(cur, int64(m.view)) {
+				if int64(m.view) <= cur {
+					break
+				}
+				if c.curView.CompareAndSwap(cur, int64(m.view)) {
+					mViewChanges.Inc()
 					break
 				}
 			}
@@ -474,7 +478,11 @@ func (r *replica) executeReady() {
 		var err error
 		if !r.done[in.digest] {
 			r.done[in.digest] = true
-			_, err = c.commit[r.id].CommitBlock(cloneTxs(in.batch), c.opts.Now())
+			start := c.opts.Now()
+			_, err = c.commit[r.id].CommitBlock(cloneTxs(in.batch), start)
+			mBatches.Inc()
+			mBatchTxs.Observe(int64(len(in.batch)))
+			mCommitMicros.Observe(c.opts.Now() - start)
 		}
 
 		// Replica 0 acts as the client-facing replier: in full PBFT the

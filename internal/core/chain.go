@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sebdb/internal/auth"
+	"sebdb/internal/cache"
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
@@ -103,15 +104,17 @@ func (e *Engine) Table(name string) (*schema.Table, error) {
 	return e.catalog.Lookup(name)
 }
 
-// CacheStats reports the active cache's cumulative hits and misses.
-func (e *Engine) CacheStats() (hits, misses uint64) {
+// CacheStats snapshots the active cache's counters: cumulative hits,
+// misses and evictions plus current occupancy. A CacheNone engine
+// reports zeros.
+func (e *Engine) CacheStats() cache.Counters {
 	switch {
 	case e.blockCache != nil:
-		return e.blockCache.Stats()
+		return e.blockCache.Counters()
 	case e.txCache != nil:
-		return e.txCache.Stats()
+		return e.txCache.Counters()
 	}
-	return 0, 0
+	return cache.Counters{}
 }
 
 // sampleColumn collects up to limit values of table.col from the chain

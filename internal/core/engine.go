@@ -12,16 +12,17 @@ import (
 	"crypto/ed25519"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"sebdb/internal/accessctl"
 	"sebdb/internal/auth"
 	"sebdb/internal/cache"
+	"sebdb/internal/clock"
 	"sebdb/internal/contract"
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
 	"sebdb/internal/mbtree"
+	"sebdb/internal/obs"
 	"sebdb/internal/parallel"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/schema"
@@ -69,6 +70,13 @@ type Config struct {
 	// DefaultSender is the SenID used by Execute when no session sender
 	// is given.
 	DefaultSender string
+	// Clock supplies transaction and block timestamps (Unix micros).
+	// Nil means the wall clock; tests inject clock.Fixed for
+	// deterministic timing.
+	Clock clock.Source
+	// Obs is the metrics registry the engine and its operators report
+	// into. Nil means obs.Default (what the server's /metrics exposes).
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -92,6 +100,12 @@ func (c *Config) fill() {
 	}
 	if c.DefaultSender == "" {
 		c.DefaultSender = c.Signer
+	}
+	if c.Clock == nil {
+		c.Clock = clock.UnixMicro
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default
 	}
 }
 
@@ -232,8 +246,14 @@ func (e *Engine) SetParallelism(n int) {
 // Headers returns all block headers (what a thin client syncs).
 func (e *Engine) Headers() []types.BlockHeader { return e.store.Headers() }
 
-// nowMicro returns the current time in Unix microseconds.
-func (e *Engine) nowMicro() int64 { return time.Now().UnixMicro() }
+// nowMicro returns the engine clock's current time in Unix
+// microseconds.
+func (e *Engine) nowMicro() int64 { return e.cfg.Clock() }
+
+// Obs returns the engine's metrics registry; the engine satisfies
+// exec.ObsChain with it, so the operators report into the same
+// registry the server exposes.
+func (e *Engine) Obs() *obs.Registry { return e.cfg.Obs }
 
 // RegisterKey associates a sender identity with a signing key; Submit
 // and Execute sign transactions from that sender.
@@ -256,7 +276,7 @@ func (e *Engine) NewTransaction(sender, tname string, args []types.Value) (*type
 		return nil, err
 	}
 	tx := &types.Transaction{
-		Ts:    time.Now().UnixMicro(),
+		Ts:    e.nowMicro(),
 		SenID: sender,
 		Tname: tbl.Name,
 		Args:  vals,
@@ -286,7 +306,7 @@ func (e *Engine) Submit(tx *types.Transaction) error {
 
 // Flush packages all pending mempool transactions, stamping blocks with
 // the current time.
-func (e *Engine) Flush() error { return e.FlushAt(time.Now().UnixMicro()) }
+func (e *Engine) Flush() error { return e.FlushAt(e.nowMicro()) }
 
 // FlushAt packages all pending mempool transactions into blocks stamped
 // with the given timestamp (clamped to stay monotonic). Deterministic

@@ -413,12 +413,15 @@ func TestCacheModes(t *testing.T) {
 				t.Fatalf("mode %d: rows = %d", mode, len(res.Rows))
 			}
 		}
-		hits, misses := e.CacheStats()
-		if mode == CacheNone && (hits+misses) != 0 {
-			t.Errorf("CacheNone recorded traffic: %d/%d", hits, misses)
+		cs := e.CacheStats()
+		if mode == CacheNone && (cs.Hits+cs.Misses) != 0 {
+			t.Errorf("CacheNone recorded traffic: %d/%d", cs.Hits, cs.Misses)
 		}
-		if mode != CacheNone && hits == 0 {
-			t.Errorf("mode %d: repeated query produced no cache hits (misses=%d)", mode, misses)
+		if mode != CacheNone && cs.Hits == 0 {
+			t.Errorf("mode %d: repeated query produced no cache hits (misses=%d)", mode, cs.Misses)
+		}
+		if mode != CacheNone && (cs.Entries == 0 || cs.Bytes == 0) {
+			t.Errorf("mode %d: cache occupancy not reported: %+v", mode, cs)
 		}
 	}
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sebdb/internal/obs"
+	"sebdb/internal/plan"
+	"sebdb/internal/sqlparser"
+	"sebdb/internal/types"
+)
+
+// Explain parses a SELECT (with or without an EXPLAIN prefix) and
+// reports the planner's access-path decision with the estimated costs
+// of Equations 1-3. The SQL form `EXPLAIN [ANALYZE] <stmt>` goes
+// through Execute; this method is the programmatic shortcut.
+func (e *Engine) Explain(sql string) (*Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := st.(*sqlparser.Explain); ok {
+		st = ex.Stmt
+	}
+	s, ok := st.(*sqlparser.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports single-table SELECT, got %T", st)
+	}
+	return e.explainSelect(s)
+}
+
+// explainSelect reports the plan.Choose decision for one on-chain
+// SELECT without executing it.
+func (e *Engine) explainSelect(s *sqlparser.Select) (*Result, error) {
+	if !e.catalog.Has(s.Table.Name) || s.Table.Chain == sqlparser.ChainOff {
+		return nil, fmt.Errorf("core: EXPLAIN supports on-chain tables")
+	}
+	tbl, err := e.catalog.Lookup(s.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := e.NumBlocks()
+	k := e.TableBlocks(tbl.Name).Count()
+	p, hasLayered := e.estimateLayered(tbl, s.Where)
+	if !hasLayered {
+		p = -1
+	}
+	ch := plan.Choose(plan.DefaultCostModel(), n, k, p)
+	cost := func(c float64) types.Value {
+		if c < 0 {
+			return types.Null
+		}
+		return types.Dec(c)
+	}
+	return &Result{
+		Columns: []string{"method", "blocks", "table_blocks", "est_rows",
+			"cost_scan", "cost_bitmap", "cost_layered"},
+		Rows: [][]types.Value{{
+			types.Str(ch.Method.String()),
+			types.Int(int64(n)),
+			types.Int(int64(k)),
+			types.Int(int64(p)),
+			cost(ch.CostScan),
+			cost(ch.CostBitmap),
+			cost(ch.CostLayered),
+		}},
+	}, nil
+}
+
+// execExplain handles EXPLAIN [ANALYZE] <stmt>. Plain EXPLAIN reports
+// the planner decision; ANALYZE executes the statement under a query
+// trace and renders the resulting span tree — one row per stage with
+// its wall time (registry clock) and physical counters.
+func (e *Engine) execExplain(ctx context.Context, sender string, s *sqlparser.Explain) (*Result, error) {
+	if !s.Analyze {
+		sel, ok := s.Stmt.(*sqlparser.Select)
+		if !ok {
+			return nil, fmt.Errorf("core: EXPLAIN supports single-table SELECT, got %T (EXPLAIN ANALYZE runs any read statement)", s.Stmt)
+		}
+		return e.explainSelect(sel)
+	}
+	switch s.Stmt.(type) {
+	case *sqlparser.Select, *sqlparser.Trace, *sqlparser.Join, *sqlparser.GetBlock:
+	default:
+		return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports read statements, got %T", s.Stmt)
+	}
+	tctx, root := obs.NewTrace(ctx, e.cfg.Obs, "query")
+	// Re-parse the statement text inside the trace so the parse stage
+	// carries a real wall time; the result replaces the pre-parsed AST.
+	_, psp := obs.StartSpan(tctx, "parse")
+	st, err := sqlparser.Parse(s.Src)
+	psp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	_, err = e.executeStmt(tctx, sender, st, nil)
+	root.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return renderTrace(root), nil
+}
+
+// renderTrace flattens a finished span tree depth-first into result
+// rows. The well-known exec counters get their own columns; everything
+// else lands in detail as "name=value" pairs.
+func renderTrace(root *obs.Span) *Result {
+	res := &Result{Columns: []string{
+		"stage", "micros", "blocks_read", "txs_examined", "index_probes", "detail"}}
+	var walk func(sp *obs.Span, depth int)
+	walk = func(sp *obs.Span, depth int) {
+		br, te, ip := types.Null, types.Null, types.Null
+		var rest []string
+		for _, c := range sp.Counters() {
+			switch c.Name {
+			case "blocks_read":
+				br = types.Int(c.Value)
+			case "txs_examined":
+				te = types.Int(c.Value)
+			case "index_probes":
+				ip = types.Int(c.Value)
+			default:
+				rest = append(rest, fmt.Sprintf("%s=%d", c.Name, c.Value))
+			}
+		}
+		res.Rows = append(res.Rows, []types.Value{
+			types.Str(strings.Repeat("  ", depth) + sp.Name()),
+			types.Int(sp.DurationMicros()),
+			br, te, ip,
+			types.Str(strings.Join(rest, " ")),
+		})
+		for _, ch := range sp.Children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(root, 0)
+	return res
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sebdb/internal/obs"
+	"sebdb/internal/types"
+)
+
+// tickClock returns a clock.Source-compatible func that advances one
+// microsecond per read, so every span gets a nonzero deterministic
+// duration without wall time.
+func tickClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1) }
+}
+
+func TestExplainAnalyzeSpanTree(t *testing.T) {
+	clk := tickClock()
+	reg := obs.NewRegistry(clk)
+	e := testEngine(t, Config{Clock: clk, Obs: reg})
+	seedDonation(t, e, 30, 10)
+
+	res := mustExec(t, e, `EXPLAIN ANALYZE SELECT * FROM donate WHERE amount >= 0`)
+	wantCols := []string{"stage", "micros", "blocks_read", "txs_examined", "index_probes", "detail"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
+
+	stage := func(row []types.Value) string {
+		return strings.TrimSpace(row[0].S)
+	}
+	micros := func(row []types.Value) int64 { return row[1].I }
+
+	if got := stage(res.Rows[0]); got != "query" {
+		t.Fatalf("first stage = %q, want query", got)
+	}
+	rootMicros := micros(res.Rows[0])
+	if rootMicros <= 0 {
+		t.Fatalf("root micros = %d, want > 0", rootMicros)
+	}
+
+	byStage := map[string][]types.Value{}
+	var childSum int64
+	for _, row := range res.Rows[1:] {
+		byStage[stage(row)] = row
+		if !strings.HasPrefix(row[0].S, "    ") {
+			childSum += micros(row) // depth-1 stages only
+		}
+	}
+	for _, want := range []string{"parse", "plan", "project"} {
+		if _, ok := byStage[want]; !ok {
+			t.Errorf("missing stage %q in %v", want, res.Rows)
+		}
+	}
+	var execRow []types.Value
+	for name, row := range byStage {
+		if strings.HasPrefix(name, "exec.select.") {
+			execRow = row
+		}
+	}
+	if execRow == nil {
+		t.Fatalf("no exec.select.* stage in %v", res.Rows)
+	}
+	if childSum > rootMicros {
+		t.Errorf("child stages sum to %d micros > root %d", childSum, rootMicros)
+	}
+
+	// The exec stage's counters are the query's exec.Stats: the scan
+	// read every one of the 4 blocks (1 DDL flush + 3 data flushes) it
+	// touched and examined all 30 transactions.
+	br := execRow[2].I
+	te := execRow[3].I
+	if br <= 0 || te != 30 {
+		t.Errorf("exec counters blocks_read=%d txs_examined=%d, want >0 and 30", br, te)
+	}
+
+	// The same stats also accumulated as registry counters.
+	var total uint64
+	for _, m := range []string{"scan", "bitmap", "layered"} {
+		total += reg.Counter(`sebdb_exec_txs_examined_total{op="select",method="` + m + `"}`).Value()
+	}
+	if total < 30 {
+		t.Errorf("registry txs_examined = %d, want >= 30", total)
+	}
+}
+
+func TestExplainAnalyzeRejectsWrites(t *testing.T) {
+	e := testEngine(t, Config{})
+	seedDonation(t, e, 5, 5)
+	if _, err := e.Execute(`EXPLAIN ANALYZE CREATE other (a int)`); err == nil {
+		t.Fatal("EXPLAIN ANALYZE of DDL should fail")
+	}
+	if _, err := e.Execute(`EXPLAIN SELECT * FROM donate`); err != nil {
+		t.Fatalf("plain EXPLAIN: %v", err)
+	}
+}
+
+func TestExplainAnalyzeNotNested(t *testing.T) {
+	e := testEngine(t, Config{})
+	seedDonation(t, e, 5, 5)
+	if _, err := e.Execute(`EXPLAIN EXPLAIN SELECT * FROM donate`); err == nil {
+		t.Fatal("nested EXPLAIN should fail to parse")
+	}
+}

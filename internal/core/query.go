@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"sebdb/internal/accessctl"
 	"sebdb/internal/contract"
 	"sebdb/internal/exec"
+	"sebdb/internal/obs"
 	"sebdb/internal/plan"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/schema"
@@ -32,6 +34,13 @@ func (e *Engine) ExecuteAs(sender, sql string, params ...types.Value) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	return e.executeStmt(context.Background(), sender, st, params)
+}
+
+// executeStmt checks access and dispatches one parsed statement. The
+// context carries the query trace when the statement runs under
+// EXPLAIN ANALYZE; every stage below propagates it.
+func (e *Engine) executeStmt(ctx context.Context, sender string, st sqlparser.Statement, params []types.Value) (*Result, error) {
 	if err := e.checkAccess(sender, st); err != nil {
 		return nil, err
 	}
@@ -41,13 +50,15 @@ func (e *Engine) ExecuteAs(sender, sql string, params ...types.Value) (*Result, 
 	case *sqlparser.Insert:
 		return e.execInsert(sender, s, params)
 	case *sqlparser.Select:
-		return e.execSelect(s)
+		return e.execSelect(ctx, s)
 	case *sqlparser.Join:
-		return e.execJoin(s)
+		return e.execJoin(ctx, s)
 	case *sqlparser.Trace:
-		return e.execTrace(s)
+		return e.execTrace(ctx, s)
 	case *sqlparser.GetBlock:
 		return e.execGetBlock(s)
+	case *sqlparser.Explain:
+		return e.execExplain(ctx, sender, s)
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", st)
 	}
@@ -139,7 +150,7 @@ func predBoundsOf(p sqlparser.Pred) (types.Value, types.Value, bool) {
 }
 
 // execSelect plans and runs a single-table query, on or off chain.
-func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, s *sqlparser.Select) (*Result, error) {
 	onChain := e.catalog.Has(s.Table.Name)
 	switch s.Table.Chain {
 	case sqlparser.ChainOn:
@@ -161,6 +172,7 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, planSp := obs.StartSpan(ctx, "plan")
 	n := e.NumBlocks()
 	k := e.TableBlocks(tbl.Name).Count()
 	p, hasLayered := e.estimateLayered(tbl, s.Where)
@@ -168,7 +180,11 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 		p = -1
 	}
 	choice := plan.Choose(plan.DefaultCostModel(), n, k, p)
-	txs, _, err := exec.Select(e, tbl.Name, s.Where, s.Window, choice.Method)
+	planSp.SetCounter("blocks", int64(n))
+	planSp.SetCounter("table_blocks", int64(k))
+	planSp.SetCounter("est_rows", int64(p))
+	planSp.Finish()
+	txs, _, err := exec.SelectCtx(ctx, e, tbl.Name, s.Where, s.Window, choice.Method)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +192,9 @@ func (e *Engine) execSelect(s *sqlparser.Select) (*Result, error) {
 		return &Result{Columns: []string{"count"},
 			Rows: [][]types.Value{{types.Int(int64(len(txs)))}}}, nil
 	}
+	_, projSp := obs.StartSpan(ctx, "project")
+	defer projSp.Finish()
+	projSp.SetCounter("rows", int64(len(txs)))
 	// ORDER BY sorts on the full tuple before projection, so the sort
 	// column need not appear in the select list.
 	if s.OrderBy != "" {
@@ -332,8 +351,8 @@ func (e *Engine) projectTxs(tbl *schema.Table, cols []string, txs []*types.Trans
 
 // execTrace runs the track-trace operation; the global system-column
 // indexes always exist, so the layered path of Algorithm 1 is used.
-func (e *Engine) execTrace(s *sqlparser.Trace) (*Result, error) {
-	txs, _, err := exec.Track(e, s, exec.MethodLayered)
+func (e *Engine) execTrace(ctx context.Context, s *sqlparser.Trace) (*Result, error) {
+	txs, _, err := exec.TrackCtx(ctx, e, s, exec.MethodLayered)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +367,7 @@ func (e *Engine) execTrace(s *sqlparser.Trace) (*Result, error) {
 }
 
 // execJoin dispatches on-chain vs on-off-chain joins.
-func (e *Engine) execJoin(s *sqlparser.Join) (*Result, error) {
+func (e *Engine) execJoin(ctx context.Context, s *sqlparser.Join) (*Result, error) {
 	leftOn := s.Left.Chain != sqlparser.ChainOff && e.catalog.Has(s.Left.Name)
 	rightOn := s.Right.Chain != sqlparser.ChainOff && e.catalog.Has(s.Right.Name)
 
@@ -358,7 +377,7 @@ func (e *Engine) execJoin(s *sqlparser.Join) (*Result, error) {
 		if e.Layered(s.Left.Name, s.LeftCol) != nil && e.Layered(s.Right.Name, s.RightCol) != nil {
 			m = exec.MethodLayered
 		}
-		rows, _, err := exec.OnChainJoin(e, s.Left.Name, s.Right.Name, s.LeftCol, s.RightCol, s.Window, m)
+		rows, _, err := exec.OnChainJoinCtx(ctx, e, s.Left.Name, s.Right.Name, s.LeftCol, s.RightCol, s.Window, m)
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +387,7 @@ func (e *Engine) execJoin(s *sqlparser.Join) (*Result, error) {
 		if e.Layered(s.Left.Name, s.LeftCol) != nil {
 			m = exec.MethodLayered
 		}
-		rows, _, err := exec.OnOffJoin(e, e.offDB, s.Left.Name, s.LeftCol, s.Right.Name, s.RightCol, s.Window, m)
+		rows, _, err := exec.OnOffJoinCtx(ctx, e, e.offDB, s.Left.Name, s.LeftCol, s.Right.Name, s.RightCol, s.Window, m)
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +399,7 @@ func (e *Engine) execJoin(s *sqlparser.Join) (*Result, error) {
 			LeftCol: s.RightCol, RightCol: s.LeftCol,
 			Window: s.Window,
 		}
-		return e.execJoin(flipped)
+		return e.execJoin(ctx, flipped)
 	default:
 		return nil, fmt.Errorf("core: join between two off-chain tables belongs in the RDBMS")
 	}
@@ -510,6 +529,10 @@ func (e *Engine) checkAccess(sender string, st sqlparser.Statement) error {
 		return e.acl.Check(sender, s.Table.Name, accessctl.OpRead)
 	case *sqlparser.Join:
 		return e.acl.CheckAll(sender, []string{s.Left.Name, s.Right.Name}, accessctl.OpRead)
+	case *sqlparser.Explain:
+		// Explaining a statement requires the same permissions as
+		// running it (ANALYZE does run it).
+		return e.checkAccess(sender, s.Stmt)
 	case *sqlparser.Trace, *sqlparser.GetBlock:
 		// Tracking and block lookups span all tables; restrict to
 		// participants that can read everything they touch. Tables in
@@ -566,51 +589,4 @@ func (e *Engine) InvokeContract(sender, name string, args ...types.Value) (*Resu
 		return nil, err
 	}
 	return &Result{Columns: res.Columns, Rows: res.Rows}, nil
-}
-
-// Explain parses a SELECT and reports the planner's access-path
-// decision with the estimated costs of Equations 1-3 — the
-// EXPLAIN-style introspection surface.
-func (e *Engine) Explain(sql string) (*Result, error) {
-	st, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	s, ok := st.(*sqlparser.Select)
-	if !ok {
-		return nil, fmt.Errorf("core: EXPLAIN supports single-table SELECT, got %T", st)
-	}
-	if !e.catalog.Has(s.Table.Name) || s.Table.Chain == sqlparser.ChainOff {
-		return nil, fmt.Errorf("core: EXPLAIN supports on-chain tables")
-	}
-	tbl, err := e.catalog.Lookup(s.Table.Name)
-	if err != nil {
-		return nil, err
-	}
-	n := e.NumBlocks()
-	k := e.TableBlocks(tbl.Name).Count()
-	p, hasLayered := e.estimateLayered(tbl, s.Where)
-	if !hasLayered {
-		p = -1
-	}
-	ch := plan.Choose(plan.DefaultCostModel(), n, k, p)
-	cost := func(c float64) types.Value {
-		if c < 0 {
-			return types.Null
-		}
-		return types.Dec(c)
-	}
-	return &Result{
-		Columns: []string{"method", "blocks", "table_blocks", "est_rows",
-			"cost_scan", "cost_bitmap", "cost_layered"},
-		Rows: [][]types.Value{{
-			types.Str(ch.Method.String()),
-			types.Int(int64(n)),
-			types.Int(int64(k)),
-			types.Int(int64(p)),
-			cost(ch.CostScan),
-			cost(ch.CostBitmap),
-			cost(ch.CostLayered),
-		}},
-	}, nil
 }

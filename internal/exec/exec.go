@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
+	"sebdb/internal/obs"
 	"sebdb/internal/parallel"
 	"sebdb/internal/schema"
 	"sebdb/internal/sqlparser"
@@ -174,6 +176,22 @@ var (
 // the given access method, returning matching transactions in chain
 // order.
 func Select(c Chain, table string, preds []sqlparser.Pred, win *sqlparser.Window, m Method) ([]*types.Transaction, Stats, error) {
+	return SelectCtx(context.Background(), c, table, preds, win, m)
+}
+
+// SelectCtx is Select with trace support: when ctx carries a query
+// trace (EXPLAIN ANALYZE) the run is recorded as an
+// "exec.select.<method>" stage carrying its Stats; either way the
+// Stats fold into the registry's exec counters.
+func SelectCtx(ctx context.Context, c Chain, table string, preds []sqlparser.Pred, win *sqlparser.Window, m Method) ([]*types.Transaction, Stats, error) {
+	_, sp := obs.StartSpan(ctx, "exec.select."+m.String())
+	out, st, err := selectImpl(c, table, preds, win, m)
+	finishStats(sp, st)
+	recordStats(c, "select", m, st)
+	return out, st, err
+}
+
+func selectImpl(c Chain, table string, preds []sqlparser.Pred, win *sqlparser.Window, m Method) ([]*types.Transaction, Stats, error) {
 	var st Stats
 	tbl, err := c.Table(table)
 	if err != nil {

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/layered"
+	"sebdb/internal/obs"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/schema"
 	"sebdb/internal/sqlparser"
@@ -79,6 +81,20 @@ func hashKey(v types.Value) string {
 //     the first-level intersect() test, then each surviving pair is
 //     joined by sort-merge over the second-level B+-trees.
 func OnChainJoin(c Chain, r, s, rCol, sCol string, win *sqlparser.Window, m Method) ([]JoinRow, Stats, error) {
+	return OnChainJoinCtx(context.Background(), c, r, s, rCol, sCol, win, m)
+}
+
+// OnChainJoinCtx is OnChainJoin with trace support ("exec.join.onchain"
+// stage); the Stats always fold into the registry's exec counters.
+func OnChainJoinCtx(ctx context.Context, c Chain, r, s, rCol, sCol string, win *sqlparser.Window, m Method) ([]JoinRow, Stats, error) {
+	_, sp := obs.StartSpan(ctx, "exec.join.onchain")
+	out, st, err := onChainJoinImpl(c, r, s, rCol, sCol, win, m)
+	finishStats(sp, st)
+	recordStats(c, "join", m, st)
+	return out, st, err
+}
+
+func onChainJoinImpl(c Chain, r, s, rCol, sCol string, win *sqlparser.Window, m Method) ([]JoinRow, Stats, error) {
 	var st Stats
 	rt, err := c.Table(r)
 	if err != nil {

@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"sebdb/internal/obs"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/sqlparser"
 	"sebdb/internal/types"
@@ -22,6 +24,22 @@ import (
 //     sort-merge joined against the sorted off-chain rows using the
 //     second-level index.
 func OnOffJoin(c Chain, db *rdbms.DB, r, rCol, s, sCol string,
+	win *sqlparser.Window, m Method) ([]OnOffRow, Stats, error) {
+	return OnOffJoinCtx(context.Background(), c, db, r, rCol, s, sCol, win, m)
+}
+
+// OnOffJoinCtx is OnOffJoin with trace support ("exec.join.onoff"
+// stage); the Stats always fold into the registry's exec counters.
+func OnOffJoinCtx(ctx context.Context, c Chain, db *rdbms.DB, r, rCol, s, sCol string,
+	win *sqlparser.Window, m Method) ([]OnOffRow, Stats, error) {
+	_, sp := obs.StartSpan(ctx, "exec.join.onoff")
+	out, st, err := onOffJoinImpl(c, db, r, rCol, s, sCol, win, m)
+	finishStats(sp, st)
+	recordStats(c, "join", m, st)
+	return out, st, err
+}
+
+func onOffJoinImpl(c Chain, db *rdbms.DB, r, rCol, s, sCol string,
 	win *sqlparser.Window, m Method) ([]OnOffRow, Stats, error) {
 	var st Stats
 	rt, err := c.Table(r)

@@ -1,0 +1,17 @@
+package exec
+
+import "testing"
+
+// TestStatsAddAggregation pins Stats.add as a plain field-wise sum —
+// the parallel merge and the obs counters both rely on per-block stats
+// aggregating without loss.
+func TestStatsAddAggregation(t *testing.T) {
+	var s Stats
+	s.add(Stats{BlocksRead: 1, TxsExamined: 10, IndexProbes: 2})
+	s.add(Stats{BlocksRead: 3, TxsExamined: 0, IndexProbes: 5})
+	s.add(Stats{})
+	want := Stats{BlocksRead: 4, TxsExamined: 10, IndexProbes: 7}
+	if s != want {
+		t.Fatalf("aggregated stats = %+v, want %+v", s, want)
+	}
+}

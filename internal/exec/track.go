@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
+	"sebdb/internal/obs"
 	"sebdb/internal/sqlparser"
 	"sebdb/internal/types"
 )
@@ -17,6 +19,21 @@ import (
 // and the second-level trees are probed for the positions, intersecting
 // the two position sets when tracking from both dimensions.
 func Track(c Chain, q *sqlparser.Trace, m Method) ([]*types.Transaction, Stats, error) {
+	return TrackCtx(context.Background(), c, q, m)
+}
+
+// TrackCtx is Track with trace support: an active query trace records
+// the run as an "exec.track" stage; the Stats always fold into the
+// registry's exec counters.
+func TrackCtx(ctx context.Context, c Chain, q *sqlparser.Trace, m Method) ([]*types.Transaction, Stats, error) {
+	_, sp := obs.StartSpan(ctx, "exec.track")
+	out, st, err := trackImpl(c, q, m)
+	finishStats(sp, st)
+	recordStats(c, "track", m, st)
+	return out, st, err
+}
+
+func trackImpl(c Chain, q *sqlparser.Trace, m Method) ([]*types.Transaction, Stats, error) {
 	var st Stats
 	if !q.HasOperator && !q.HasOperation {
 		return nil, st, fmt.Errorf("exec: trace needs operator and/or operation")

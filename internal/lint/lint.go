@@ -37,6 +37,7 @@ func Analyzers() []*Analyzer {
 		DroppedErr,
 		Determinism,
 		LockCheck,
+		Obsclock,
 		U32Trunc,
 	}
 }
@@ -55,6 +56,7 @@ var directiveAliases = map[string]string{
 	"determinism":  "determinism",
 	"lock":         "lockcheck",
 	"lockcheck":    "lockcheck",
+	"obsclock":     "obsclock",
 	"u32":          "u32trunc",
 	"u32trunc":     "u32trunc",
 }

@@ -82,6 +82,7 @@ func TestDecodeBoundsFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, 
 func TestDroppedErrFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "droppederr") }
 func TestDeterminismFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "determinism") }
 func TestLockCheckFlagsSeededViolation(t *testing.T)    { requireAnalyzerHit(t, "lockcheck") }
+func TestObsclockFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "obsclock") }
 func TestU32TruncFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "u32trunc") }
 
 func requireAnalyzerHit(t *testing.T, analyzer string) {
@@ -132,6 +133,7 @@ func TestDirectiveParsing(t *testing.T) {
 		{"//sebdb:ignore-lock aliased acquisition", "lockcheck", "aliased acquisition", true},
 		{"//sebdb:ignore-u32 framed above", "u32trunc", "framed above", true},
 		{"//sebdb:ignore-droppederr full name", "droppederr", "full name", true},
+		{"//sebdb:ignore-obsclock boot banner", "obsclock", "boot banner", true},
 		{"//sebdb:ignore-err", "droppederr", "", true},
 		{"//sebdb:ignore-unknown whatever", "", "", false},
 		{"// plain comment", "", "", false},

@@ -1,0 +1,24 @@
+// Package obsfix seeds obsclock violations inside an instrumented
+// subtree: ambient wall-clock reads that bypass the injected
+// clock.Source.
+package obsfix
+
+import "time"
+
+// StageMicros times a stage with the ambient clock on both ends.
+func StageMicros(stage func()) int64 {
+	start := time.Now() // want:obsclock
+	stage()
+	return time.Since(start).Microseconds() // want:obsclock
+}
+
+// Tick is fine: tickers and durations are not ambient "what time is
+// it" reads.
+func Tick() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+//sebdb:ignore-obsclock boot banner only; never feeds a trace or histogram
+func bootStamp() int64 {
+	return time.Now().UnixMicro()
+}

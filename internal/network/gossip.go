@@ -75,6 +75,7 @@ func (g *Gossiper) AddPeer(p Peer) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.peers = append(g.peers, p)
+	mPeers.Add(1)
 }
 
 // PeerIDs lists live peers.
@@ -131,6 +132,7 @@ func (g *Gossiper) loop() {
 // Round performs one anti-entropy exchange with a random peer. It is
 // exported so tests and simulations can drive gossip deterministically.
 func (g *Gossiper) Round() {
+	mRounds.Inc()
 	g.mu.Lock()
 	if len(g.peers) == 0 {
 		g.mu.Unlock()
@@ -150,11 +152,13 @@ func (g *Gossiper) Round() {
 }
 
 func (g *Gossiper) pullFrom(peer Peer) error {
+	mMsgsOut.Inc()
 	ph, err := peer.Height()
 	if err != nil {
 		return err
 	}
 	for h := g.local.Height(); h < ph; h = g.local.Height() {
+		mMsgsOut.Inc()
 		b, err := peer.BlockAt(h)
 		if err != nil {
 			return err
@@ -162,6 +166,7 @@ func (g *Gossiper) pullFrom(peer Peer) error {
 		if err := g.local.ApplyBlock(b); err != nil {
 			return err
 		}
+		mBlocksIn.Inc()
 	}
 	return nil
 }
@@ -169,6 +174,7 @@ func (g *Gossiper) pullFrom(peer Peer) error {
 func (g *Gossiper) noteFailure(peer Peer) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	mFailures.Inc()
 	id := peer.ID()
 	g.failures[id]++
 	if g.failures[id] < FailureThreshold {
@@ -177,6 +183,7 @@ func (g *Gossiper) noteFailure(peer Peer) {
 	for i, p := range g.peers {
 		if p.ID() == id {
 			g.peers = append(g.peers[:i], g.peers[i+1:]...)
+			mPeers.Add(-1)
 			break
 		}
 	}

@@ -1,0 +1,14 @@
+package network
+
+import "sebdb/internal/obs"
+
+// Gossip metrics, reported to the default registry. Messages count
+// peer RPCs issued (Height and BlockAt probes); blocks count blocks
+// pulled and applied locally.
+var (
+	mRounds   = obs.Default.Counter("sebdb_gossip_rounds_total")
+	mMsgsOut  = obs.Default.Counter("sebdb_gossip_messages_total")
+	mBlocksIn = obs.Default.Counter("sebdb_gossip_blocks_pulled_total")
+	mFailures = obs.Default.Counter("sebdb_gossip_failures_total")
+	mPeers    = obs.Default.Gauge("sebdb_gossip_peers")
+)

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Exposition: the registry renders to the Prometheus text format
+// (/metrics) and to a JSON snapshot (/debug/vars). Both snapshot the
+// metric maps under the read lock, then read atomics lock-free.
+
+// snapshotMaps copies the registration maps so exposition iterates
+// without holding the registry lock while formatting.
+func (r *Registry) snapshotMaps() (cs map[string]*Counter, gs map[string]*Gauge, hs map[string]*Histogram, fs map[string]FuncMetric) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cs = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	gs = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	hs = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	fs = make(map[string]FuncMetric, len(r.funcs))
+	for k, v := range r.funcs {
+		fs[k] = v
+	}
+	return cs, gs, hs, fs
+}
+
+// withLabel appends one more label to an inline label set.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// braced re-wraps an inline label set for output ("" stays "").
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format, sorted by name so scrapes are diff-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, hs, fs := r.snapshotMaps()
+
+	type line struct {
+		base string
+		typ  string
+		text string
+	}
+	var lines []line
+	for name, c := range cs {
+		base, labels := splitName(name)
+		lines = append(lines, line{base, "counter",
+			fmt.Sprintf("%s%s %d\n", base, braced(labels), c.Value())})
+	}
+	for name, g := range gs {
+		base, labels := splitName(name)
+		lines = append(lines, line{base, "gauge",
+			fmt.Sprintf("%s%s %d\n", base, braced(labels), g.Value())})
+	}
+	for name, f := range fs {
+		base, labels := splitName(name)
+		typ := "gauge"
+		if f.Type == TypeCounter {
+			typ = "counter"
+		}
+		lines = append(lines, line{base, typ,
+			fmt.Sprintf("%s%s %d\n", base, braced(labels), f.Fn())})
+	}
+	for name, h := range hs {
+		base, labels := splitName(name)
+		s := h.Snapshot()
+		var cum uint64
+		text := ""
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			text += fmt.Sprintf("%s_bucket%s %d\n",
+				base, withLabel(labels, `le="`+strconv.FormatInt(b, 10)+`"`), cum)
+		}
+		text += fmt.Sprintf("%s_bucket%s %d\n", base, withLabel(labels, `le="+Inf"`), s.Count)
+		text += fmt.Sprintf("%s_sum%s %d\n", base, braced(labels), s.Sum)
+		text += fmt.Sprintf("%s_count%s %d\n", base, braced(labels), s.Count)
+		lines = append(lines, line{base, "histogram", text})
+	}
+
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].base != lines[j].base {
+			return lines[i].base < lines[j].base
+		}
+		return lines[i].text < lines[j].text
+	})
+	lastTyped := ""
+	for _, l := range lines {
+		if l.base != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", l.base, l.typ); err != nil {
+				return err
+			}
+			lastTyped = l.base
+		}
+		if _, err := io.WriteString(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is one histogram in the /debug/vars snapshot.
+type histJSON struct {
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	P50    float64  `json:"p50"`
+	P99    float64  `json:"p99"`
+}
+
+// WriteJSON renders the registry as a JSON object with "counters",
+// "gauges" and "histograms" sections (func metrics fold into the first
+// two by type). Map keys keep their inline label sets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs, gs, hs, fs := r.snapshotMaps()
+	counters := make(map[string]uint64, len(cs))
+	for name, c := range cs {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(gs))
+	for name, g := range gs {
+		gauges[name] = g.Value()
+	}
+	for name, f := range fs {
+		if f.Type == TypeCounter {
+			counters[name] = uint64(f.Fn())
+		} else {
+			gauges[name] = f.Fn()
+		}
+	}
+	hists := make(map[string]histJSON, len(hs))
+	for name, h := range hs {
+		s := h.Snapshot()
+		hists[name] = histJSON{
+			Count:  s.Count,
+			Sum:    s.Sum,
+			Bounds: s.Bounds,
+			Counts: s.Counts,
+			P50:    s.Quantile(0.50),
+			P99:    s.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}
+
+// Handler serves the registry in Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to report.
+			return
+		}
+	})
+}
+
+// VarsHandler serves the registry as a JSON snapshot (/debug/vars).
+func VarsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package obs is SEBDB's stdlib-only observability layer: a lock-cheap
+// metrics registry (counters, gauges, fixed-bucket histograms) plus the
+// per-stage query tracing spans behind EXPLAIN ANALYZE. Hot paths touch
+// only atomics; registration takes a lock once per metric name, and
+// readers snapshot without stopping writers. All timing flows through
+// an injectable clock.Source so traces and latency histograms stay
+// deterministic under test (the invariant sebdb-vet's obsclock analyzer
+// enforces on instrumented packages).
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sebdb/internal/clock"
+)
+
+// MetricType tags a registered func metric for exposition.
+type MetricType int
+
+const (
+	// TypeCounter is a monotonically non-decreasing cumulative count.
+	TypeCounter MetricType = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+)
+
+// Counter is a monotonic cumulative count. The zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add applies a delta (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBounds are the upper bounds (inclusive, microseconds)
+// of the default latency histogram: 25µs to 5s in a 1-2.5-5 ladder.
+var DefaultLatencyBounds = []int64{
+	25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+}
+
+// BatchSizeBounds suit batch-size histograms (transactions per batch).
+var BatchSizeBounds = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000}
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations
+// v <= bounds[i]; the final implicit bucket counts the rest (+Inf).
+// Observe touches only atomics, so concurrent writers never contend.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Uint64 // len(bounds)+1
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Counts
+// holds per-bucket (non-cumulative) counts; Counts[len(Bounds)] is the
+// +Inf bucket.
+type HistSnapshot struct {
+	Bounds []int64
+	Counts []uint64
+	Count  uint64
+	Sum    int64
+}
+
+// Snapshot copies the histogram's current state. Buckets are read one
+// atomic at a time, so a snapshot taken during writes is approximate
+// (sums may trail bucket counts by in-flight observations) but never
+// torn per bucket.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing it. Values beyond the last
+// finite bound are reported as that bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		next := cum + float64(n)
+		if next >= target && n > 0 {
+			lo := int64(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[len(s.Bounds)-1]
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			frac := (target - cum) / float64(n)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// FuncMetric is a scrape-time metric: its value is computed by calling
+// Fn at exposition time (chain height, cache occupancy, ...).
+type FuncMetric struct {
+	Type MetricType
+	Fn   func() int64
+}
+
+// Registry holds a process's metrics. Metric names may embed Prometheus
+// labels inline — `sebdb_exec_blocks_read_total{method="scan"}` — and
+// the exposition writer splits them back out.
+type Registry struct {
+	now clock.Source
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]FuncMetric
+}
+
+// NewRegistry returns an empty registry reading time from src
+// (clock.UnixMicro outside tests).
+func NewRegistry(src clock.Source) *Registry {
+	if src == nil {
+		src = clock.UnixMicro
+	}
+	return &Registry{
+		now:      src,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]FuncMetric),
+	}
+}
+
+// Default is the process-wide registry package-level instrumentation
+// writes to; tests needing isolation or deterministic time inject their
+// own instances instead.
+var Default = NewRegistry(clock.UnixMicro)
+
+// Now reads the registry's clock (Unix microseconds).
+func (r *Registry) Now() int64 { return r.now() }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (DefaultLatencyBounds when none are given). The
+// first registration fixes the bounds; later bounds are ignored.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// RegisterFunc registers (or replaces) a metric computed at scrape
+// time. fn must be safe for concurrent use.
+func (r *Registry) RegisterFunc(name string, typ MetricType, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = FuncMetric{Type: typ, Fn: fn}
+}
+
+// splitName separates a metric name from its inline label set:
+// `name{a="b"}` yields ("name", `a="b"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}

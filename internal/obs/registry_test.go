@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"sebdb/internal/clock"
+)
+
+func TestCounterGaugeGetOrCreate(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	c := r.Counter("a_total")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("a_total").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a_total") != c {
+		t.Fatal("second Counter call returned a different instance")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := r.Gauge("depth").Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("second Gauge call returned a different instance")
+	}
+}
+
+// TestHistogramBoundaries pins the bucket semantics: bounds are
+// inclusive upper edges, and values beyond the last bound land in the
+// implicit +Inf bucket.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	h := r.Histogram("lat", 10, 20, 30)
+	for _, v := range []int64{0, 10, 11, 20, 21, 30, 31, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // (..10], (10..20], (20..30], +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 0+10+11+20+21+30+31+1000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	// The first registration fixed the bounds; later ones are ignored.
+	if h2 := r.Histogram("lat", 1, 2); h2 != h || len(h2.Snapshot().Bounds) != 3 {
+		t.Error("re-registration changed the histogram")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	h := r.Histogram("q", 10, 20, 30)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in (10..20]
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %v, want 15 (midpoint of (10,20])", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v", got)
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("q>1 not clamped: %v", got)
+	}
+	h.Observe(99_999) // +Inf bucket
+	if got := h.Snapshot().Quantile(1); got != 30 {
+		t.Errorf("overflow quantile = %v, want clamp to last bound 30", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	r.Counter(`reads_total{kind="block"}`).Add(3)
+	r.Gauge("depth").Set(-2)
+	r.RegisterFunc("height", TypeGauge, func() int64 { return 9 })
+	h := r.Histogram(`stage{stage="parse"}`, 10, 20)
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `# TYPE depth gauge
+depth -2
+# TYPE height gauge
+height 9
+# TYPE reads_total counter
+reads_total{kind="block"} 3
+# TYPE stage histogram
+stage_bucket{stage="parse",le="10"} 1
+stage_bucket{stage="parse",le="20"} 2
+stage_bucket{stage="parse",le="+Inf"} 3
+stage_sum{stage="parse"} 119
+stage_count{stage="parse"} 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	r.Counter(`reads_total{kind="tx"}`).Inc()
+	r.Gauge("depth").Set(4)
+	r.RegisterFunc("hits_total", TypeCounter, func() int64 { return 12 })
+	r.Histogram("lat", 10).Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Counters[`reads_total{kind="tx"}`] != 1 {
+		t.Errorf("counters = %v", out.Counters)
+	}
+	if out.Counters["hits_total"] != 12 {
+		t.Errorf("func counter not folded in: %v", out.Counters)
+	}
+	if out.Gauges["depth"] != 4 {
+		t.Errorf("gauges = %v", out.Gauges)
+	}
+	if h := out.Histograms["lat"]; h.Count != 1 {
+		t.Errorf("histograms = %v", out.Histograms)
+	}
+}
+
+func TestRegisterFuncReplace(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	r.RegisterFunc("v", TypeGauge, func() int64 { return 1 })
+	r.RegisterFunc("v", TypeGauge, func() int64 { return 2 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v 2\n") {
+		t.Errorf("replacement not in effect:\n%s", buf.String())
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct{ in, base, labels string }{
+		{"plain", "plain", ""},
+		{`n{a="b"}`, "n", `a="b"`},
+		{`n{a="b",c="d"}`, "n", `a="b",c="d"`},
+	} {
+		base, labels := splitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitName(%q) = %q, %q", tc.in, base, labels)
+		}
+	}
+}
+
+// TestConcurrentWritersAndScrapes hammers one counter and one histogram
+// from many goroutines while scraping both exposition formats; run
+// under -race this pins the lock-free hot path.
+func TestConcurrentWritersAndScrapes(t *testing.T) {
+	r := NewRegistry(clock.Fixed(0))
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			buf.Reset()
+			if err := r.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("hits_total").Inc()
+				r.Histogram("lat", 10, 100, 1000).Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+	if got := r.Counter("hits_total").Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("lat").Snapshot().Count; got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}

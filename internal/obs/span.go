@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// Spans form the query-trace tree behind EXPLAIN ANALYZE. A trace is
+// opt-in: NewTrace plants a root span in the context, and StartSpan
+// returns a nil *Span — every method of which is a safe no-op — when no
+// trace is active, so instrumented code pays one context lookup and
+// nothing else on the untraced hot path.
+//
+// The canonical stage names (see DESIGN.md "Observability"):
+//
+//	query                      the root of one traced statement
+//	  parse                    SQL text -> AST
+//	  plan                     cost-model access-path choice
+//	  exec.select.scan         exec.Select under MethodScan
+//	  exec.select.bitmap       ... MethodBitmap
+//	  exec.select.layered      ... MethodLayered
+//	  exec.track               exec.Track (track-trace)
+//	  exec.join.onchain        exec.OnChainJoin
+//	  exec.join.onoff          exec.OnOffJoin
+//	  project                  sort / limit / projection
+//	  verify                   thin-client VO verification
+//
+// Every Finish also feeds the span's duration into the registry's
+// `sebdb_stage_micros{stage="<name>"}` histogram, so stage latencies
+// aggregate on /metrics even when no one reads the trace.
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// SpanCounter is one named counter attached to a span (blocks read,
+// rows produced, ...), in insertion order.
+type SpanCounter struct {
+	Name  string
+	Value int64
+}
+
+// Span is one timed stage of a query trace.
+type Span struct {
+	reg  *Registry
+	name string
+
+	mu       sync.Mutex
+	start    int64
+	end      int64
+	done     bool
+	children []*Span
+	counters []SpanCounter
+}
+
+// NewTrace starts a root span named name against reg (Default when nil)
+// and returns a context carrying it. The caller must Finish the root.
+func NewTrace(ctx context.Context, reg *Registry, name string) (context.Context, *Span) {
+	if reg == nil {
+		reg = Default
+	}
+	sp := &Span{reg: reg, name: name, start: reg.Now()}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// child opens and attaches a sub-span.
+func (s *Span) child(name string) *Span {
+	c := &Span{reg: s.reg, name: name, start: s.reg.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// StartSpan opens a stage span under the trace in ctx. With no active
+// trace it returns (ctx, nil); a nil *Span accepts every method call as
+// a no-op, so call sites need no guards.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.child(name)
+	return context.WithValue(ctx, spanKey{}, c), c
+}
+
+// FromContext returns the active span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Finish stamps the span's end time and feeds its duration into the
+// registry's stage histogram. Only the first call counts.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.end = s.reg.Now()
+	d := s.end - s.start
+	s.mu.Unlock()
+	s.reg.Histogram(`sebdb_stage_micros{stage="` + s.name + `"}`).Observe(d)
+}
+
+// SetCounter sets a named counter on the span, replacing any prior
+// value.
+func (s *Span) SetCounter(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].Name == name {
+			s.counters[i].Value = v
+			return
+		}
+	}
+	s.counters = append(s.counters, SpanCounter{Name: name, Value: v})
+}
+
+// AddCounter accumulates into a named counter on the span.
+func (s *Span) AddCounter(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].Name == name {
+			s.counters[i].Value += v
+			return
+		}
+	}
+	s.counters = append(s.counters, SpanCounter{Name: name, Value: v})
+}
+
+// Name returns the span's stage name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartMicros returns the span's start time (registry clock).
+func (s *Span) StartMicros() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start
+}
+
+// DurationMicros returns end-start for a finished span, 0 otherwise.
+func (s *Span) DurationMicros() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return 0
+	}
+	return s.end - s.start
+}
+
+// Children returns the span's child stages in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Counters returns the span's counters in insertion order.
+func (s *Span) Counters() []SpanCounter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanCounter(nil), s.counters...)
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// stepClock is a hand-advanced clock.Source for deterministic spans.
+type stepClock struct{ now int64 }
+
+func (c *stepClock) src() int64 { return c.now }
+
+func TestTraceNestingAndDurations(t *testing.T) {
+	clk := &stepClock{}
+	r := NewRegistry(clk.src)
+
+	ctx, root := NewTrace(context.Background(), r, "query")
+	if FromContext(ctx) != root {
+		t.Fatal("context does not carry the root span")
+	}
+
+	clk.now = 10
+	pctx, parse := StartSpan(ctx, "parse")
+	if FromContext(pctx) != parse {
+		t.Fatal("child context does not carry the child span")
+	}
+	clk.now = 40
+	parse.Finish()
+	if got := parse.DurationMicros(); got != 30 {
+		t.Errorf("parse duration = %d, want 30", got)
+	}
+
+	clk.now = 50
+	_, exec := StartSpan(ctx, "exec.select.scan")
+	exec.SetCounter("blocks_read", 4)
+	exec.AddCounter("blocks_read", 2)
+	exec.AddCounter("txs_examined", 9)
+	clk.now = 150
+	exec.Finish()
+
+	clk.now = 200
+	root.Finish()
+	if got := root.DurationMicros(); got != 200 {
+		t.Errorf("root duration = %d, want 200", got)
+	}
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0] != parse || kids[1] != exec {
+		t.Fatalf("children = %v, want [parse exec]", kids)
+	}
+	if parse.StartMicros() != 10 || exec.StartMicros() != 50 {
+		t.Errorf("starts = %d, %d", parse.StartMicros(), exec.StartMicros())
+	}
+	cs := exec.Counters()
+	if len(cs) != 2 || cs[0] != (SpanCounter{"blocks_read", 6}) || cs[1] != (SpanCounter{"txs_examined", 9}) {
+		t.Errorf("counters = %v", cs)
+	}
+
+	// Every Finish feeds the per-stage latency histogram.
+	for stage, want := range map[string]int64{"query": 200, "parse": 30, "exec.select.scan": 100} {
+		s := r.Histogram(`sebdb_stage_micros{stage="` + stage + `"}`).Snapshot()
+		if s.Count != 1 || s.Sum != want {
+			t.Errorf("stage %s: count=%d sum=%d, want count=1 sum=%d", stage, s.Count, s.Sum, want)
+		}
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "parse")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace should return nil")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("untraced context should carry no span")
+	}
+}
+
+// TestNilSpanNoops pins the no-guards contract: every method of a nil
+// *Span is a safe no-op.
+func TestNilSpanNoops(t *testing.T) {
+	var sp *Span
+	sp.Finish()
+	sp.SetCounter("x", 1)
+	sp.AddCounter("x", 1)
+	if sp.Name() != "" || sp.StartMicros() != 0 || sp.DurationMicros() != 0 {
+		t.Error("nil span accessors should return zero values")
+	}
+	if sp.Children() != nil || sp.Counters() != nil {
+		t.Error("nil span collections should be nil")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	clk := &stepClock{}
+	r := NewRegistry(clk.src)
+	_, root := NewTrace(context.Background(), r, "query")
+	clk.now = 25
+	root.Finish()
+	clk.now = 999
+	root.Finish()
+	if got := root.DurationMicros(); got != 25 {
+		t.Errorf("duration = %d, want 25 (second Finish must not restamp)", got)
+	}
+	s := r.Histogram(`sebdb_stage_micros{stage="query"}`).Snapshot()
+	if s.Count != 1 {
+		t.Errorf("histogram count = %d, want 1 (second Finish must not observe)", s.Count)
+	}
+}
+
+func TestNewTraceNilRegistryUsesDefault(t *testing.T) {
+	_, root := NewTrace(context.Background(), nil, "query")
+	before := Default.Histogram(`sebdb_stage_micros{stage="query"}`).Snapshot().Count
+	root.Finish()
+	after := Default.Histogram(`sebdb_stage_micros{stage="query"}`).Snapshot().Count
+	if after != before+1 {
+		t.Errorf("Default stage histogram count %d -> %d, want +1", before, after)
+	}
+}

@@ -1,0 +1,26 @@
+package parallel
+
+import "sebdb/internal/obs"
+
+// Pipeline metrics, reported to the default registry. The package is a
+// leaf (no engine handle), so unlike exec it cannot resolve a
+// per-chain registry; Ordered is only ever driven by one engine per
+// process in practice, and the default registry is what the server
+// exposes.
+var (
+	// mTasks counts produce calls issued, split by path so the
+	// sequential degenerate case stays distinguishable.
+	mTasksSeq = obs.Default.Counter(`sebdb_parallel_tasks_total{path="seq"}`)
+	mTasksPar = obs.Default.Counter(`sebdb_parallel_tasks_total{path="par"}`)
+	// mRuns counts Ordered invocations that took the parallel path.
+	mRuns = obs.Default.Counter("sebdb_parallel_runs_total")
+	// mInflight gauges produce calls currently executing on workers.
+	mInflight = obs.Default.Gauge("sebdb_parallel_workers_inflight")
+	// mQueueDepth gauges futures issued but not yet consumed — the
+	// distance the producers have run ahead of the ordered merge.
+	mQueueDepth = obs.Default.Gauge("sebdb_parallel_queue_depth")
+	// mMergeStall observes how long the ordered consumer waited for the
+	// next index's result to land (microseconds). A hot merge stall
+	// means one slow block read is holding back the whole pipeline.
+	mMergeStall = obs.Default.Histogram("sebdb_parallel_merge_stall_micros")
+)

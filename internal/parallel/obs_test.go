@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sebdb/internal/obs"
+)
+
+// TestOrderedObsCounters checks the task counters the package reports
+// against a run of known size on each path.
+func TestOrderedObsCounters(t *testing.T) {
+	before := mTasksSeq.Value()
+	if err := Ordered(1, 7,
+		func(i int) (int, error) { return i, nil },
+		func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := mTasksSeq.Value() - before; got != 7 {
+		t.Errorf("sequential tasks += %d, want 7", got)
+	}
+
+	beforePar, beforeRuns := mTasksPar.Value(), mRuns.Value()
+	if err := Ordered(4, 9,
+		func(i int) (int, error) { return i, nil },
+		func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := mTasksPar.Value() - beforePar; got != 9 {
+		t.Errorf("parallel tasks += %d, want 9", got)
+	}
+	if got := mRuns.Value() - beforeRuns; got != 1 {
+		t.Errorf("runs += %d, want 1", got)
+	}
+	if got := mInflight.Value(); got != 0 {
+		t.Errorf("inflight gauge = %d after run, want 0", got)
+	}
+	if got := mQueueDepth.Value(); got != 0 {
+		t.Errorf("queue depth gauge = %d after run, want 0", got)
+	}
+}
+
+// TestOrderedScrapeDuringRun scrapes obs.Default while parallel runs
+// write counters, gauges and the merge-stall histogram; under -race
+// this pins that instrumentation never tears the read pipeline.
+func TestOrderedScrapeDuringRun(t *testing.T) {
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := obs.Default.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := 0
+			err := Ordered(4, 200,
+				func(i int) (int, error) { return i, nil },
+				func(_, v int) error { sum += v; return nil })
+			if err != nil {
+				t.Error(err)
+			}
+			if want := 199 * 200 / 2; sum != want {
+				t.Errorf("sum = %d, want %d", sum, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+}

@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sebdb/internal/obs"
 )
 
 // Stop is returned by a consume callback to end an Ordered run early
@@ -46,6 +48,7 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			mTasksSeq.Inc()
 			v, err := produce(i)
 			if err != nil {
 				return err
@@ -64,6 +67,7 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func
 		v   T
 		err error
 	}
+	mRuns.Inc()
 	var stop atomic.Bool
 	// futures carries one buffered channel per index, in index order;
 	// the buffer lets workers complete out of order without blocking.
@@ -74,6 +78,7 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func
 		var wg sync.WaitGroup
 		for i := 0; i < n && !stop.Load(); i++ {
 			fut := make(chan result, 1)
+			mQueueDepth.Add(1)
 			futures <- fut
 			sem <- struct{}{}
 			wg.Add(1)
@@ -85,7 +90,10 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func
 					fut <- result{zero, errCanceled}
 					return
 				}
+				mTasksPar.Inc()
+				mInflight.Add(1)
 				v, err := produce(i)
+				mInflight.Add(-1)
 				fut <- result{v, err}
 			}(i, fut)
 		}
@@ -95,7 +103,10 @@ func Ordered[T any](workers, n int, produce func(i int) (T, error), consume func
 	var first error
 	i := 0
 	for fut := range futures {
+		waitStart := obs.Default.Now()
 		r := <-fut
+		mMergeStall.Observe(obs.Default.Now() - waitStart)
+		mQueueDepth.Add(-1)
 		switch {
 		case first != nil:
 			// Draining after a failure or stop; results are dropped.

@@ -160,3 +160,19 @@ type GetBlock struct {
 }
 
 func (*GetBlock) stmt() {}
+
+// Explain is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN reports the
+// planner's access-path decision without running the statement;
+// EXPLAIN ANALYZE executes it under a query trace and reports the
+// per-stage span tree.
+type Explain struct {
+	// Analyze marks EXPLAIN ANALYZE.
+	Analyze bool
+	// Stmt is the statement being explained.
+	Stmt Statement
+	// Src is the statement's original text (without the EXPLAIN
+	// prefix), kept so ANALYZE can re-parse it inside the trace.
+	Src string
+}
+
+func (*Explain) stmt() {}

@@ -83,9 +83,26 @@ func (p *parser) statement() (Statement, error) {
 		return p.trace()
 	case p.accept(tkIdent, "get"):
 		return p.getBlock()
+	case p.accept(tkIdent, "explain"):
+		return p.explain()
 	default:
 		return nil, p.errf("unknown statement %q", p.peek().text)
 	}
+}
+
+// explain parses EXPLAIN [ANALYZE] <statement>.
+func (p *parser) explain() (Statement, error) {
+	analyze := p.accept(tkIdent, "analyze")
+	start := p.peek().pos
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := st.(*Explain); ok {
+		return nil, p.errf("EXPLAIN cannot be nested")
+	}
+	src := strings.TrimSpace(p.src[start:p.peek().pos])
+	return &Explain{Analyze: analyze, Stmt: st, Src: src}, nil
 }
 
 // createTable parses CREATE [TABLE] name (col type, ...).

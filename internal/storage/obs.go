@@ -1,0 +1,17 @@
+package storage
+
+import "sebdb/internal/obs"
+
+// Physical-read metrics, reported to the default registry. Reads are
+// split by granularity: "block" covers whole-body transfers (Block,
+// Iter.Read — the t_S + B·t_T term of Equations 1-2), "tx" covers the
+// tuple-sized random reads of the layered index path (ReadTx,
+// Equation 3's p·(t_S + t_T)).
+var (
+	mBlockReads = obs.Default.Counter(`sebdb_storage_segment_reads_total{kind="block"}`)
+	mTxReads    = obs.Default.Counter(`sebdb_storage_segment_reads_total{kind="tx"}`)
+	mBlockBytes = obs.Default.Counter(`sebdb_storage_read_bytes_total{kind="block"}`)
+	mTxBytes    = obs.Default.Counter(`sebdb_storage_read_bytes_total{kind="tx"}`)
+	mAppends    = obs.Default.Counter("sebdb_storage_appends_total")
+	mAppendWr   = obs.Default.Counter("sebdb_storage_append_bytes_total")
+)

@@ -246,6 +246,8 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 		}
 	}
 	s.curSize += int64(len(rec))
+	mAppends.Inc()
+	mAppendWr.Add(uint64(len(rec)))
 	s.locs = append(s.locs, loc)
 	s.headers = append(s.headers, b.Header)
 	s.txBase = append(s.txBase, b.Header.FirstTid)
@@ -349,6 +351,8 @@ func (s *Store) readAt(loc Location) (*types.Block, error) {
 	if _, err := f.ReadAt(body, loc.Offset+headerSize); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	mBlockReads.Inc()
+	mBlockBytes.Add(uint64(headerSize + len(body)))
 	return types.DecodeBlock(types.NewDecoder(body))
 }
 
@@ -496,6 +500,8 @@ func (it *Iter) Read(height uint64) (*types.Block, error) {
 	if _, err := it.readers[loc.Segment].ReadAt(body, loc.Offset+headerSize); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	mBlockReads.Inc()
+	mBlockBytes.Add(uint64(len(body)))
 	return types.DecodeBlock(types.NewDecoder(body))
 }
 
@@ -523,5 +529,7 @@ func (s *Store) ReadTx(height uint64, pos uint32) (*types.Transaction, error) {
 	if _, err := f.ReadAt(buf, loc.Offset+headerSize+int64(start)); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	mTxReads.Inc()
+	mTxBytes.Add(uint64(len(buf)))
 	return types.DecodeTransaction(types.NewDecoder(buf))
 }

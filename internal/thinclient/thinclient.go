@@ -15,6 +15,7 @@ import (
 	"sebdb/internal/auth"
 	"sebdb/internal/merkle"
 	"sebdb/internal/node"
+	"sebdb/internal/obs"
 	"sebdb/internal/types"
 )
 
@@ -128,7 +129,11 @@ func (c *Client) AuthQuery(full node.QueryNode, auxiliaries []node.QueryNode,
 	}
 	st.VOSize = ans.Size()
 	st.BlocksInAnswer = len(ans.Blocks)
+	mQueriesAuth.Inc()
+	mVOBytesAuth.Add(uint64(st.VOSize))
+	verifyStart := obs.Default.Now()
 	digest, txs, err := auth.VerifyAnswer(ans, req.Lo, req.Hi)
+	mVerifyMicros.Observe(obs.Default.Now() - verifyStart)
 	if err != nil {
 		return nil, st, err
 	}
@@ -194,7 +199,11 @@ func (c *Client) BasicQuery(n node.QueryNode, match func(*types.Transaction) boo
 	}
 	st.VOSize = ans.Size()
 	st.BlocksInAnswer = len(ans.Blocks)
+	mQueriesBasic.Inc()
+	mVOBytesBasic.Add(uint64(st.VOSize))
+	verifyStart := obs.Default.Now()
 	txs, err := auth.BasicVerify(ans, c.headers, match)
+	mVerifyMicros.Observe(obs.Default.Now() - verifyStart)
 	return txs, st, err
 }
 

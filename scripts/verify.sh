@@ -30,4 +30,19 @@ go test ./...
 echo "== go test -race -short =="
 go test -race -short ./...
 
+echo "== obs race pass =="
+go test -race ./internal/obs/... ./internal/parallel/...
+
+echo "== metrics endpoint smoke =="
+go test -race -run TestMetricsEndpoints ./cmd/sebdb-server
+
+echo "== bchainbench -json smoke =="
+json_out=$(mktemp)
+trap 'rm -f "$json_out"' EXIT
+go run ./cmd/bchainbench -fig 12 -scale 0.01 -json "$json_out" >/dev/null
+if ! grep -q '"figure"' "$json_out"; then
+    echo "bchainbench -json produced no figure data" >&2
+    exit 1
+fi
+
 echo "verify: all gates passed"
