@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	bchainbench [-fig N] [-scale S] [-dir DIR] [-workers W] [-json PATH]
+//	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] [-json PATH]
 //
-//	-fig N     regenerate only figure N (7..23, where 23 is the
-//	           parallel read-pipeline scaling sweep); default all
+//	-fig F     regenerate only figure F: a number (7..24) or a name —
+//	           "parallel" (23, the read-pipeline scaling sweep) or
+//	           "recovery" (24, the checkpoint restart/fast-sync sweep);
+//	           default all
 //	-scale S   dataset scale relative to paper sizes (default 0.05;
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number (7-23); 0 = all")
+	fig := flag.String("fig", "", `figure number (7-24) or name ("parallel", "recovery"); empty = all`)
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
 	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 (0 = GOMAXPROCS)")
@@ -49,12 +51,17 @@ func main() {
 	}
 
 	nums := make([]int, 0, len(bench.Figures))
-	if *fig == 0 {
+	if *fig == "" {
 		for _, f := range bench.Figures {
 			nums = append(nums, f.Num)
 		}
 	} else {
-		nums = append(nums, *fig)
+		num, err := bench.FigureNum(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bchainbench:", err)
+			os.Exit(2)
+		}
+		nums = append(nums, num)
 	}
 
 	var results []bench.FigureJSON

@@ -6,11 +6,14 @@
 //
 //	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
 //	    [-peer host:port]... [-signer node0] [-auth table.col]... \
-//	    [-parallel N]
+//	    [-parallel N] [-checkpoint-interval N] [-fast-sync]
 //
 // A standalone node packages its own blocks (submit transactions via
 // the SQL interface, e.g. from sebdb-cli); nodes with peers follow the
-// longest chain via gossip.
+// longest chain via gossip. With -checkpoint-interval the node
+// checkpoints its derived state every N blocks so restarts replay only
+// the post-checkpoint suffix; with -fast-sync an empty node bootstraps
+// by fetching a peer's checkpoint before opening the engine.
 package main
 
 import (
@@ -47,6 +50,9 @@ func main() {
 	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
 	par := flag.Int("parallel", 0, "read-pipeline workers for scans, replay and backfill (0 = GOMAXPROCS, 1 = sequential)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
+	ckptInterval := flag.Int("checkpoint-interval", 0, "write a derived-state checkpoint every N blocks (0 = disabled)")
+	fastSync := flag.Bool("fast-sync", false, "bootstrap an empty data directory from the first reachable peer's checkpoint")
+	noCkptLoad := flag.Bool("no-checkpoint-load", false, "ignore existing checkpoints on startup and rebuild by full replay")
 	var peers, authIdx listFlag
 	flag.Var(&peers, "peer", "peer address (repeatable)")
 	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
@@ -64,7 +70,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode, Parallelism: *par})
+	// Fast-sync runs before the engine opens: with a populated snapshots/
+	// directory in place, Open seeds every index from the checkpoint and
+	// replays nothing. A failed attempt (no peer checkpoint, non-empty
+	// dir, verification failure) degrades to a normal open + gossip sync.
+	if *fastSync {
+		synced := false
+		for _, p := range peers {
+			remote, err := node.DialNode(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fast-sync peer %s: %v\n", p, err)
+				continue
+			}
+			res, err := node.FastSync(*dir, remote, obs.Default)
+			if cerr := remote.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "fast-sync peer %s close: %v\n", p, cerr)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fast-sync from %s: %v\n", p, err)
+				continue
+			}
+			fmt.Printf("sebdb-server: fast-synced %d blocks + checkpoint at height %d (%d checkpoint bytes) from %s\n",
+				res.Blocks, res.CheckpointHeight, res.ChunkBytes, p)
+			synced = true
+			break
+		}
+		if !synced {
+			fmt.Fprintln(os.Stderr, "fast-sync: no peer served a usable checkpoint; falling back to gossip sync")
+		}
+	}
+
+	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode, Parallelism: *par,
+		CheckpointInterval: *ckptInterval, DisableCheckpointLoad: *noCkptLoad})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)

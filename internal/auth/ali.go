@@ -46,6 +46,26 @@ func NewContinuous(attr string, hist *layered.Histogram, fanout int) *ALI {
 // Attr returns the indexed attribute name.
 func (a *ALI) Attr() string { return a.attr }
 
+// Continuous reports whether the first level uses histogram bucketing.
+func (a *ALI) Continuous() bool { return a.first.Continuous() }
+
+// Histogram returns the first-level histogram, or nil for a discrete
+// ALI.
+func (a *ALI) Histogram() *layered.Histogram { return a.first.Histogram() }
+
+// BlockRecords returns the records of block bid's MB-tree in key
+// order, or nil when the block has no indexed rows. Feeding them back
+// to AppendBlock on a fresh ALI reproduces the block's tree and root
+// exactly — the checkpoint subsystem serialises ALIs this way instead
+// of persisting hashes.
+func (a *ALI) BlockRecords(bid uint64) []mbtree.Record {
+	t := a.Tree(bid)
+	if t == nil {
+		return nil
+	}
+	return t.Records()
+}
+
 // AppendBlock indexes a newly chained block: the MB-tree is built over
 // the records and the first level updated. Blocks must be appended in
 // height order; pass nil records for blocks without relevant rows.

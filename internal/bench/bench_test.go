@@ -173,7 +173,7 @@ func TestFiguresSmoke(t *testing.T) {
 	for _, want := range []string{
 		"Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12",
 		"Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16", "Fig. 17", "Fig. 18",
-		"Fig. 19", "Fig. 20", "Fig. 21", "Fig. 22",
+		"Fig. 19", "Fig. 20", "Fig. 21", "Fig. 22", "Fig. 23", "Fig. 24",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -186,5 +186,22 @@ func TestRunFigureUnknown(t *testing.T) {
 	var buf bytes.Buffer
 	if err := RunFigure(&buf, 99, t.TempDir(), 0.01); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFigureNum(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"7", 7}, {"24", 24}, {"parallel", 23}, {"recovery", 24},
+	} {
+		got, err := FigureNum(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("FigureNum(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := FigureNum("nope"); err == nil {
+		t.Error("unknown figure name accepted")
 	}
 }

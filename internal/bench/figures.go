@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // Figure is one reproducible experiment.
@@ -13,14 +14,35 @@ type Figure struct {
 	Run func(dir string, scale float64) (*Table, error)
 }
 
-// Figures lists every evaluation figure of the paper in order, plus
-// entry 23: the parallel read pipeline's worker-scaling sweep (ours,
-// not the paper's — the paper's runs are single-threaded).
+// Figures lists every evaluation figure of the paper in order, plus two
+// of our own: 23, the parallel read pipeline's worker-scaling sweep, and
+// 24, the checkpoint subsystem's restart/fast-sync recovery sweep (the
+// paper's runs are single-threaded and replay the full chain on every
+// start).
 var Figures = []Figure{
 	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
 	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
 	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
-	{22, Fig22}, {23, FigParallel},
+	{22, Fig22}, {23, FigParallel}, {24, FigRecovery},
+}
+
+// figureNames maps the named (non-paper) figures to their numbers, so
+// `bchainbench -fig recovery` works without remembering the numbering.
+var figureNames = map[string]int{
+	"parallel": 23,
+	"recovery": 24,
+}
+
+// FigureNum resolves a figure selector: either a figure number or the
+// name of one of the non-paper figures ("parallel", "recovery").
+func FigureNum(s string) (int, error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		return n, nil
+	}
+	if n, ok := figureNames[s]; ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("bench: unknown figure %q (want 7..24, \"parallel\" or \"recovery\")", s)
 }
 
 // FigureTable regenerates one figure by number and returns its table.
@@ -34,7 +56,7 @@ func FigureTable(num int, dir string, scale float64) (*Table, error) {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: no figure %d (have 7..23)", num)
+	return nil, fmt.Errorf("bench: no figure %d (have 7..24)", num)
 }
 
 // RunFigure regenerates one figure by number and prints its table.

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -18,6 +20,7 @@ import (
 	"sebdb/internal/cache"
 	"sebdb/internal/clock"
 	"sebdb/internal/contract"
+	"sebdb/internal/faultfs"
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
@@ -26,6 +29,7 @@ import (
 	"sebdb/internal/parallel"
 	"sebdb/internal/rdbms"
 	"sebdb/internal/schema"
+	"sebdb/internal/snapshot"
 	"sebdb/internal/storage"
 	"sebdb/internal/types"
 )
@@ -77,6 +81,18 @@ type Config struct {
 	// Obs is the metrics registry the engine and its operators report
 	// into. Nil means obs.Default (what the server's /metrics exposes).
 	Obs *obs.Registry
+	// CheckpointInterval writes a derived-state checkpoint every that
+	// many blocks (see internal/snapshot). Zero disables automatic
+	// checkpointing; WriteCheckpoint still works.
+	CheckpointInterval int
+	// DisableCheckpointLoad makes Open ignore any existing checkpoint
+	// and rebuild by full chain replay — the comparison baseline for
+	// recovery benchmarks and crash-equivalence tests.
+	DisableCheckpointLoad bool
+	// FS injects the filesystem the store and checkpoint directory use.
+	// Nil means the real one; tests inject faultfs.Injector to exercise
+	// crash-restart behaviour.
+	FS faultfs.FS
 }
 
 func (c *Config) fill() {
@@ -140,6 +156,12 @@ type Engine struct {
 	lastTid uint64
 	lastTs  int64
 
+	// snapDir is the checkpoint directory; ckptErr the outcome of the
+	// last automatic checkpoint; recovery the finished Open span tree.
+	snapDir  *snapshot.Dir
+	ckptErr  error
+	recovery *obs.Span
+
 	mempool   []*types.Transaction
 	keys      map[string]ed25519.PrivateKey
 	acl       *accessctl.Controller
@@ -150,13 +172,119 @@ type Engine struct {
 }
 
 // Open opens (creating if needed) an engine over cfg.Dir and rebuilds
-// catalog and system indexes by replaying the chain.
+// catalog and system indexes — from the newest valid checkpoint plus a
+// suffix replay when one exists, by full chain replay otherwise. The
+// recovery is traced; ExplainRecovery reports where the time went.
 func Open(cfg Config) (*Engine, error) {
 	cfg.fill()
-	st, err := storage.Open(cfg.Dir, storage.Options{SegmentSize: cfg.SegmentSize})
+	tctx, root := obs.NewTrace(context.Background(), cfg.Obs, "recovery")
+	e, err := openTraced(tctx, cfg)
+	root.Finish()
 	if err != nil {
 		return nil, err
 	}
+	e.recovery = root
+	return e, nil
+}
+
+func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
+	snapDir := snapshot.NewDir(cfg.FS, cfg.Dir)
+	sopts := storage.Options{SegmentSize: cfg.SegmentSize, FS: cfg.FS}
+
+	// Phase 1: checkpoint. Load the pinned checkpoint, verify its anchor
+	// against the segment store by fast-opening with the embedded
+	// metadata, and seed the derived state from it. Every failure mode
+	// drops back to full replay — never wrong answers, only slower ones.
+	_, ckSpan := obs.StartSpan(ctx, "recovery.checkpoint")
+	var ck *snapshot.Checkpoint
+	if !cfg.DisableCheckpointLoad {
+		c, err := snapDir.Load()
+		if err != nil {
+			ckSpan.Finish()
+			return nil, err
+		}
+		ck = c
+	}
+	var st *storage.Store
+	if ck != nil {
+		s, err := storage.OpenWithMeta(cfg.Dir, sopts, ck.Store)
+		switch {
+		case err == nil:
+			st = s
+		case errors.Is(err, storage.ErrMetaMismatch):
+			// Stale or tampered: the checkpoint does not describe the
+			// chain on disk. Discard it.
+			cfg.Obs.Counter("sebdb_snapshot_anchor_mismatch_total").Inc()
+			ck = nil
+		default:
+			ckSpan.Finish()
+			return nil, err
+		}
+	}
+	if st == nil {
+		s, err := storage.Open(cfg.Dir, sopts)
+		if err != nil {
+			ckSpan.Finish()
+			return nil, err
+		}
+		st = s
+	}
+	e := newEngine(cfg, st, snapDir)
+	var base uint64
+	if ck != nil {
+		if err := e.restoreCheckpoint(ck); err != nil {
+			// The checkpoint decoded but disagrees with itself; rebuild
+			// everything from the chain instead.
+			cfg.Obs.Counter("sebdb_snapshot_restore_errors_total").Inc()
+			if cerr := st.Close(); cerr != nil {
+				ckSpan.Finish()
+				return nil, cerr
+			}
+			st, err = storage.Open(cfg.Dir, sopts)
+			if err != nil {
+				ckSpan.Finish()
+				return nil, err
+			}
+			e = newEngine(cfg, st, snapDir)
+		} else {
+			base = ck.Height
+		}
+	}
+	ckSpan.Finish()
+
+	// Phase 2: replay the remaining suffix (the whole chain when no
+	// checkpoint seeded state): catalog, indexes and counters. Blocks are
+	// decoded ahead by the worker pool; indexing itself stays on this
+	// goroutine in height order (Tids, bitmaps and layered appends all
+	// assume blocks arrive in order).
+	_, repSpan := obs.StartSpan(ctx, "recovery.replay")
+	defer repSpan.Finish()
+	n := uint64(st.Count())
+	if n > base {
+		it, err := st.Blocks(base, n)
+		if err != nil {
+			return nil, err
+		}
+		err = parallel.Ordered(e.Parallelism(), int(n-base),
+			func(i int) (*types.Block, error) { return it.Read(base + uint64(i)) },
+			func(_ int, b *types.Block) error { return e.indexBlock(b) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.Obs.Counter("sebdb_snapshot_suffix_blocks").Add(n - base)
+	repSpan.AddCounter("suffix_blocks", int64(n-base))
+	// Replay persisted user index definitions (indexes the checkpoint
+	// already restored are kept; ones created after it backfill from the
+	// chain).
+	if err := e.loadIndexMeta(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// newEngine builds the in-memory engine shell over an opened store.
+func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		store:     st,
@@ -169,6 +297,7 @@ func Open(cfg Config) (*Engine, error) {
 		keys:      make(map[string]ed25519.PrivateKey),
 		acl:       accessctl.New(),
 		contracts: contract.NewRegistry(),
+		snapDir:   snapDir,
 	}
 	e.par.Store(int32(cfg.Parallelism))
 	switch cfg.CacheMode {
@@ -180,31 +309,28 @@ func Open(cfg Config) (*Engine, error) {
 	// The global track-trace indexes on the system columns are always
 	// present (§V-A: "the layered indices on column SenID and Tname are
 	// pre-created ... on all tables for all historical transactions").
+	// A checkpoint restore replaces them with the serialised state.
 	e.lidx[".senid"] = layered.NewDiscrete("senid")
 	e.lidx[".tname"] = layered.NewDiscrete("tname")
+	return e
+}
 
-	// Replay existing blocks: catalog, indexes and counters. Blocks are
-	// decoded ahead by the worker pool; indexing itself stays on this
-	// goroutine in height order (Tids, bitmaps and layered appends all
-	// assume blocks arrive in order).
-	if n := st.Count(); n > 0 {
-		it, err := st.Blocks(0, uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		err = parallel.Ordered(e.Parallelism(), n,
-			func(bid int) (*types.Block, error) { return it.Read(uint64(bid)) },
-			func(_ int, b *types.Block) error { return e.indexBlock(b) })
-		if err != nil {
-			return nil, err
-		}
+// RecoveryTrace returns the finished span tree of the last Open: a
+// "recovery" root with "recovery.checkpoint" (checkpoint load, anchor
+// verification, state restore) and "recovery.replay" (suffix replay and
+// index-definition reload) children. Their durations also feed the
+// sebdb_stage_micros metrics.
+func (e *Engine) RecoveryTrace() *obs.Span { return e.recovery }
+
+// ExplainRecovery renders the recovery trace the way EXPLAIN ANALYZE
+// renders a query trace: one row per stage with its wall time, so
+// checkpoint-load vs suffix-replay cost is inspectable.
+func (e *Engine) ExplainRecovery() *Result {
+	if e.recovery == nil {
+		return &Result{Columns: []string{"stage", "micros", "blocks_read",
+			"txs_examined", "index_probes", "detail"}}
 	}
-	// Replay persisted user index definitions (the index contents are
-	// rebuilt from the chain).
-	if err := e.loadIndexMeta(); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return renderTrace(e.recovery)
 }
 
 // Close releases the engine's resources.
@@ -360,6 +486,7 @@ func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, 
 	if err := e.indexBlockLocked(b); err != nil {
 		return nil, err
 	}
+	e.maybeCheckpointLocked()
 	return b, nil
 }
 
@@ -371,7 +498,11 @@ func (e *Engine) ApplyBlock(b *types.Block) error {
 	if _, err := e.store.Append(b); err != nil {
 		return err
 	}
-	return e.indexBlockLocked(b)
+	if err := e.indexBlockLocked(b); err != nil {
+		return err
+	}
+	e.maybeCheckpointLocked()
+	return nil
 }
 
 // indexBlock locks and indexes (used during replay).

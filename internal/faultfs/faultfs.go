@@ -1,0 +1,63 @@
+// Package faultfs abstracts the filesystem operations beneath SEBDB's
+// durable layers (storage segments, snapshot checkpoints) behind a
+// small interface with two implementations: the real OS filesystem and
+// a fault injector that simulates crashes (power loss after a bounded
+// number of mutating operations, with a torn final write), short reads
+// and erroring Sync. The injector lets tests enumerate every
+// crash-point in a write/rename/load sequence and assert crash-restart
+// equivalence: state recovered after a crash must equal state rebuilt
+// by full replay.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrCrashed is returned by every operation on an injector after its
+// simulated crash fired: the "machine" is down until the test reopens
+// the directory through a fresh FS.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// File is the handle surface the storage and snapshot layers need:
+// sequential and positional reads, appends, Sync and Close.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem surface the storage and snapshot layers need.
+// All paths are interpreted as by the os package.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	// Open opens a file read-only.
+	Open(path string) (File, error)
+	// OpenFile generalises Open with os.O_* flags.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	ReadFile(path string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Truncate(path string, size int64) error
+	Stat(path string) (os.FileInfo, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error          { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error)            { return os.ReadDir(path) }
+func (osFS) ReadFile(path string) ([]byte, error)                  { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error                  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                              { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error                { return os.Truncate(path, size) }
+func (osFS) Stat(path string) (os.FileInfo, error)                 { return os.Stat(path) }
+func (osFS) Open(path string) (File, error)                        { return os.Open(path) }
+func (osFS) OpenFile(p string, f int, m os.FileMode) (File, error) { return os.OpenFile(p, f, m) }

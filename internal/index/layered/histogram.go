@@ -47,6 +47,17 @@ func NewEqualDepth(sample []float64, depth int) *Histogram {
 	return &Histogram{bounds: bounds}
 }
 
+// FromBounds reconstructs a histogram from bounds previously returned
+// by Bounds — the checkpoint subsystem's serialised form.
+func FromBounds(bounds []float64) *Histogram {
+	return &Histogram{bounds: append([]float64(nil), bounds...)}
+}
+
+// Bounds returns a copy of the inner bucket boundaries, ascending.
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
 // Buckets returns the number of buckets.
 func (h *Histogram) Buckets() int { return len(h.bounds) + 1 }
 

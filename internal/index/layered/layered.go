@@ -54,6 +54,10 @@ func (x *Index) Attr() string { return x.attr }
 // Continuous reports whether the index uses histogram bucketing.
 func (x *Index) Continuous() bool { return x.hist != nil }
 
+// Histogram returns the first-level histogram, or nil for a discrete
+// index. The histogram is immutable after construction.
+func (x *Index) Histogram() *Histogram { return x.hist }
+
 // discreteKey normalises a value for use as a first-level map key.
 // Numeric kinds share a key space so Int(3) and Dec(3) collide as the
 // comparison semantics require.
@@ -104,6 +108,24 @@ func (x *Index) AppendBlock(bid uint64, entries []Entry) {
 		}
 	}
 	x.trees[bid] = bptree.Bulk(es, x.order)
+}
+
+// BlockEntries returns the second-level entries of block bid in key
+// order, or nil when the block holds no indexed rows. Feeding them
+// back to AppendBlock on a fresh index reproduces the block's state
+// exactly — the checkpoint subsystem serialises layered indexes this
+// way.
+func (x *Index) BlockEntries(bid uint64) []Entry {
+	t := x.BlockTree(bid)
+	if t == nil {
+		return nil
+	}
+	out := make([]Entry, 0, t.Len())
+	t.Scan(func(k types.Value, ref uint64) bool {
+		out = append(out, Entry{Key: k, Pos: uint32(ref)})
+		return true
+	})
+	return out
 }
 
 // Blocks returns the number of block slots the index covers.

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// atomicwritePrefixes lists the crash-tested subtrees. Their file I/O
+// must route through the injected faultfs.FS so the fault-injection
+// crash matrix intercepts every mutation — a direct os call is a
+// mutation the harness can neither tear nor count, which silently
+// shrinks the set of crash points the tests prove recovery from.
+var atomicwritePrefixes = []string{
+	"sebdb/internal/storage",
+	"sebdb/internal/snapshot",
+}
+
+// osFSFuncs are the os entry points that touch the filesystem. Pure
+// predicates (os.IsNotExist) and constants (os.O_CREATE, os.FileMode)
+// stay fine — only calls that read or mutate the tree are flagged.
+var osFSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Truncate": true, "Stat": true, "Lstat": true,
+	"Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+}
+
+// Atomicwrite enforces the crash-consistency discipline of the storage
+// and snapshot packages: all file I/O goes through the injected
+// faultfs.FS, and snapshot files are created under a temp path and
+// renamed into place, never written directly under their published
+// name (a crash mid-write must leave a torn temp file, not a torn
+// checkpoint a later Open could half-trust).
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "crash-tested packages must route file I/O through faultfs.FS; snapshot creations must stage a tmp path and rename",
+	Run:  runAtomicwrite,
+}
+
+func runAtomicwrite(pkg *Package) []Finding {
+	covered := false
+	for _, p := range atomicwritePrefixes {
+		if pkg.Path == p || strings.HasPrefix(pkg.Path, p+"/") {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	inSnapshot := pkg.Path == "sebdb/internal/snapshot" ||
+		strings.HasPrefix(pkg.Path, "sebdb/internal/snapshot/")
+	var out []Finding
+	for _, f := range pkg.Files {
+		osName, hasOS := importsPackage(f, "os")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			sel, isSel := call.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			if hasOS {
+				if id, isID := sel.X.(*ast.Ident); isID && id.Name == osName && osFSFuncs[sel.Sel.Name] {
+					// Confirm via type info when available: the object must
+					// come from package os, not a local named "os".
+					if path := pkgPathOf(pkg.Info, sel.Sel); path == "" || path == "os" {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(call.Pos()),
+							Analyzer: "atomicwrite",
+							Message:  fmt.Sprintf("crash-tested package calls os.%s directly; route file I/O through the injected faultfs.FS", sel.Sel.Name),
+						})
+						return true
+					}
+				}
+			}
+			// In the snapshot subtree, any FS.OpenFile that creates a file
+			// must target a staging path (its path expression mentions
+			// "tmp") so the only published names are rename targets.
+			if inSnapshot && sel.Sel.Name == "OpenFile" && len(call.Args) >= 2 &&
+				mentionsOCreate(call.Args[1]) &&
+				!strings.Contains(strings.ToLower(exprText(pkg.Fset, call.Args[0])), "tmp") {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "atomicwrite",
+					Message:  "snapshot creates a file under its published name; write to a tmp path and rename into place",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mentionsOCreate reports whether the flags expression references the
+// O_CREATE constant.
+func mentionsOCreate(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID && id.Name == "O_CREATE" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

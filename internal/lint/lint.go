@@ -33,6 +33,7 @@ type Analyzer struct {
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		Atomicwrite,
 		DecodeBounds,
 		DroppedErr,
 		Determinism,
@@ -50,6 +51,8 @@ const directivePrefix = "//sebdb:ignore-"
 // directiveAliases maps directive suffixes to analyzer names, so the
 // documented //sebdb:ignore-err form reaches droppederr.
 var directiveAliases = map[string]string{
+	"atomic":       "atomicwrite",
+	"atomicwrite":  "atomicwrite",
 	"err":          "droppederr",
 	"droppederr":   "droppederr",
 	"decodebounds": "decodebounds",

@@ -78,6 +78,7 @@ func TestFixtureFindingsMatchWantComments(t *testing.T) {
 
 // Each analyzer must flag at least one seeded violation — a vacuous
 // analyzer would otherwise pass the comparison above with zero marks.
+func TestAtomicwriteFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "atomicwrite") }
 func TestDecodeBoundsFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, "decodebounds") }
 func TestDroppedErrFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "droppederr") }
 func TestDeterminismFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "determinism") }
@@ -130,6 +131,7 @@ func TestDirectiveParsing(t *testing.T) {
 		ok               bool
 	}{
 		{"//sebdb:ignore-err storage teardown", "droppederr", "storage teardown", true},
+		{"//sebdb:ignore-atomic bootstrap probe", "atomicwrite", "bootstrap probe", true},
 		{"//sebdb:ignore-lock aliased acquisition", "lockcheck", "aliased acquisition", true},
 		{"//sebdb:ignore-u32 framed above", "u32trunc", "framed above", true},
 		{"//sebdb:ignore-droppederr full name", "droppederr", "full name", true},

@@ -1,0 +1,55 @@
+// Package atomfix seeds the snapshot half of the atomicwrite
+// invariant: checkpoint files must be staged under a temp path and
+// renamed into place, never created directly under their published
+// name.
+package atomfix
+
+import (
+	"io"
+	"os"
+)
+
+// FS mirrors the faultfs surface the real snapshot code writes through.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (io.WriteCloser, error)
+	Rename(oldpath, newpath string) error
+}
+
+// writeTo drains b into a freshly opened file.
+func writeTo(f io.WriteCloser, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		f.Close() //sebdb:ignore-err the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// WriteDirect creates the final path directly — a crash mid-write
+// leaves a torn file under the published name.
+func WriteDirect(fs FS, path string, b []byte) error {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // want:atomicwrite
+	if err != nil {
+		return err
+	}
+	return writeTo(f, b)
+}
+
+// WriteAtomic stages into a tmp path and renames into place: the only
+// published names are rename targets.
+func WriteAtomic(fs FS, path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeTo(f, b); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// Reopen without O_CREATE is fine anywhere: it cannot mint a new
+// published name.
+func Reopen(fs FS, path string) (io.WriteCloser, error) {
+	return fs.OpenFile(path, os.O_WRONLY, 0o644)
+}

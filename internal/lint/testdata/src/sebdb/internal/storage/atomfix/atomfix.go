@@ -1,0 +1,26 @@
+// Package atomfix seeds atomicwrite violations inside a crash-tested
+// subtree: direct os filesystem calls that bypass the injected
+// faultfs.FS, so the crash matrix can neither tear nor count them.
+package atomfix
+
+import "os"
+
+// Persist mutates the tree with the ambient filesystem on both steps.
+func Persist(path string, b []byte) error {
+	if err := os.WriteFile(path+".tmp", b, 0o644); err != nil { // want:atomicwrite
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want:atomicwrite
+}
+
+// Probe is fine: error predicates and flag constants never touch the
+// filesystem, only calls that read or mutate it are flagged.
+func Probe(err error) (int, bool) {
+	return os.O_CREATE, os.IsNotExist(err)
+}
+
+//sebdb:ignore-atomicwrite bootstrap probe outside the crash matrix
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

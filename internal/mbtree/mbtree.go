@@ -140,6 +140,14 @@ func Build(records []Record, fanout int) *Tree {
 // auxiliary full node hashes into its digest.
 func (t *Tree) Root() Hash { return t.root.digest }
 
+// Records returns a copy of the tree's records in key order. Building
+// a tree over them reproduces this tree exactly (Build's sort is
+// stable), which is how the checkpoint subsystem serialises per-block
+// MB-trees without persisting hashes.
+func (t *Tree) Records() []Record {
+	return append([]Record(nil), t.all...)
+}
+
 // Len returns the number of records.
 func (t *Tree) Len() int { return t.size }
 

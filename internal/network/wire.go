@@ -22,6 +22,8 @@ const (
 	KindAuthQuery  uint8 = 4 // req/resp: auth payloads (node package)
 	KindAuthDigest uint8 = 5
 	KindSQL        uint8 = 6 // req: sql string       resp: encoded result
+	KindSnapOffer  uint8 = 7 // req: empty            resp: checkpoint offer (node package)
+	KindSnapChunk  uint8 = 8 // req: uint32 index     resp: index + chunk bytes
 	KindError      uint8 = 0xFF
 )
 

@@ -1,0 +1,319 @@
+package node
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"sebdb/internal/network"
+	"sebdb/internal/obs"
+	"sebdb/internal/snapshot"
+	"sebdb/internal/storage"
+	"sebdb/internal/types"
+)
+
+// Snapshot fast-sync: a fresh node fetches a peer's checkpoint instead
+// of re-deriving every index by replaying the whole chain. The block
+// bodies still stream over the existing block protocol — the chain
+// remains the only truth — but the expensive part of bootstrap, the
+// derived-state rebuild, is skipped entirely. The checkpoint's anchor
+// is verified against the linkage- and signature-checked header chain
+// before anything is installed, so a lying peer can slow a node down
+// but never poison it.
+
+// snapChunkSize keeps each chunk frame well under network.MaxFrame.
+const snapChunkSize = 1 << 20
+
+// maxSnapshotBytes bounds a serveable checkpoint payload; FastSync
+// rejects offers claiming more than the same bound.
+const maxSnapshotBytes = network.MaxFrame * 64
+
+// SnapshotOffer describes the checkpoint a peer is willing to serve.
+type SnapshotOffer struct {
+	// Height and Anchor pin the checkpoint (state covers [0, Height),
+	// Anchor is block Height-1's hash).
+	Height uint64
+	Anchor types.Hash
+	// Size and CRC describe the raw checkpoint payload; Chunks is how
+	// many ChunkSize-sized pieces it transfers as.
+	Size      uint64
+	CRC       uint32
+	ChunkSize uint32
+	Chunks    uint32
+}
+
+func (o *SnapshotOffer) encode() []byte {
+	e := types.NewEncoder(64)
+	e.Uint64(o.Height)
+	e.Bytes32(o.Anchor)
+	e.Uint64(o.Size)
+	e.Uint32(o.CRC)
+	e.Uint32(o.ChunkSize)
+	e.Uint32(o.Chunks)
+	return e.Bytes()
+}
+
+func decodeSnapshotOffer(buf []byte) (*SnapshotOffer, error) {
+	d := types.NewDecoder(buf)
+	o := &SnapshotOffer{}
+	var err error
+	if o.Height, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if o.Anchor, err = d.Bytes32(); err != nil {
+		return nil, err
+	}
+	if o.Size, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if o.CRC, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if o.ChunkSize, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if o.Chunks, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// offerFromManifest derives the wire offer for a manifest+payload pair.
+func offerFromManifest(m *snapshot.Manifest, payload []byte) (*SnapshotOffer, error) {
+	if uint64(len(payload)) > maxSnapshotBytes {
+		return nil, fmt.Errorf("node: checkpoint of %d bytes exceeds the serveable bound", len(payload))
+	}
+	size := uint64(len(payload))
+	return &SnapshotOffer{
+		Height:    m.Height,
+		Anchor:    m.Anchor,
+		Size:      size,
+		CRC:       m.CRC,
+		ChunkSize: snapChunkSize,
+		Chunks:    uint32((size + snapChunkSize - 1) / snapChunkSize),
+	}, nil
+}
+
+func (n *FullNode) handleSnapOffer([]byte) ([]byte, error) {
+	m, payload, err := n.Engine.SnapshotDir().Raw()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("node: no checkpoint available")
+	}
+	o, err := offerFromManifest(m, payload)
+	if err != nil {
+		return nil, err
+	}
+	return o.encode(), nil
+}
+
+func (n *FullNode) handleSnapChunk(payload []byte) ([]byte, error) {
+	idx, err := types.NewDecoder(payload).Uint32()
+	if err != nil {
+		return nil, err
+	}
+	m, raw, err := n.Engine.SnapshotDir().Raw()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("node: no checkpoint available")
+	}
+	lo := uint64(idx) * snapChunkSize
+	if lo >= uint64(len(raw)) {
+		return nil, fmt.Errorf("node: chunk %d beyond checkpoint of %d bytes", idx, len(raw))
+	}
+	hi := lo + snapChunkSize
+	if hi > uint64(len(raw)) {
+		hi = uint64(len(raw))
+	}
+	e := types.NewEncoder(int(hi-lo) + 16)
+	e.Uint32(idx)
+	e.Blob(raw[lo:hi])
+	return e.Bytes(), nil
+}
+
+// SnapshotOffer asks the peer what checkpoint it can serve.
+func (r *Remote) SnapshotOffer() (*SnapshotOffer, error) {
+	resp, err := r.client.Call(network.KindSnapOffer, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshotOffer(resp)
+}
+
+// SnapshotChunk fetches one checkpoint chunk by index.
+func (r *Remote) SnapshotChunk(idx uint32) ([]byte, error) {
+	e := types.NewEncoder(8)
+	e.Uint32(idx)
+	resp, err := r.client.Call(network.KindSnapChunk, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := types.NewDecoder(resp)
+	got, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if got != idx {
+		return nil, fmt.Errorf("node: chunk %d answered for request %d", got, idx)
+	}
+	return d.Blob()
+}
+
+// SnapshotOffer serves the offer without a network hop.
+func (l *Local) SnapshotOffer() (*SnapshotOffer, error) {
+	m, payload, err := l.Node.Engine.SnapshotDir().Raw()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("node: no checkpoint available")
+	}
+	return offerFromManifest(m, payload)
+}
+
+// SnapshotChunk serves one chunk without a network hop.
+func (l *Local) SnapshotChunk(idx uint32) ([]byte, error) {
+	e := types.NewEncoder(8)
+	e.Uint32(idx)
+	resp, err := l.Node.handleSnapChunk(e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := types.NewDecoder(resp)
+	if _, err := d.Uint32(); err != nil {
+		return nil, err
+	}
+	return d.Blob()
+}
+
+// FastSyncResult summarises one bootstrap.
+type FastSyncResult struct {
+	// CheckpointHeight is the height of the installed checkpoint.
+	CheckpointHeight uint64
+	// Blocks is how many block bodies were streamed into local storage.
+	Blocks uint64
+	// ChunkBytes is the total checkpoint transfer volume.
+	ChunkBytes uint64
+}
+
+// FastSync bootstraps an empty data directory from a peer: it fetches
+// the peer's checkpoint offer, independently verifies the offered
+// anchor against the peer's linkage- and signature-checked header
+// chain, streams the block bodies for [0, Height) into local storage
+// (verifying each against the agreed headers), downloads and CRC-checks
+// the checkpoint chunks, and installs the checkpoint. A subsequent
+// core.Open then seeds all derived state from the checkpoint and
+// replays nothing; blocks past the checkpoint arrive through normal
+// gossip. reg selects the metrics registry (nil = obs.Default).
+func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResult, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	offer, err := peer.SnapshotOffer()
+	if err != nil {
+		return nil, err
+	}
+	if offer.Height == 0 || offer.ChunkSize == 0 || offer.Chunks == 0 {
+		return nil, fmt.Errorf("node: degenerate snapshot offer")
+	}
+	if uint64(offer.Chunks)*uint64(offer.ChunkSize) > maxSnapshotBytes {
+		return nil, fmt.Errorf("node: snapshot offer of %d chunks is implausible", offer.Chunks)
+	}
+
+	// The header chain is the consensus-agreed spine: verify linkage and
+	// signatures first, then demand the offered anchor sits on it.
+	headers, err := peer.Headers(0)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(headers)) < offer.Height {
+		return nil, fmt.Errorf("node: offer at height %d beyond peer's %d headers", offer.Height, len(headers))
+	}
+	for i := range headers {
+		if headers[i].Height != uint64(i) {
+			return nil, fmt.Errorf("node: header %d carries height %d", i, headers[i].Height)
+		}
+		if i > 0 && headers[i].PrevHash != headers[i-1].Hash() {
+			return nil, fmt.Errorf("node: header chain breaks at height %d", i)
+		}
+		if !headers[i].VerifySig() {
+			return nil, fmt.Errorf("node: header %d fails signature verification", i)
+		}
+	}
+	if headers[offer.Height-1].Hash() != offer.Anchor {
+		return nil, fmt.Errorf("node: offered anchor disagrees with the header chain at height %d", offer.Height-1)
+	}
+
+	// Stream the block bodies backing the checkpoint into local storage.
+	// Appending the same blocks reproduces the same segment layout, so
+	// the checkpoint's embedded storage metadata verifies on Open.
+	st, err := storage.Open(dataDir, storage.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if st.Count() != 0 {
+		cerr := st.Close()
+		return nil, fmt.Errorf("node: fast-sync needs an empty data directory (found %d blocks; close err %v)", st.Count(), cerr)
+	}
+	mBlocks := reg.Counter("sebdb_fastsync_blocks_total")
+	for h := uint64(0); h < offer.Height; h++ {
+		b, err := peer.BlockAt(h)
+		if err != nil {
+			cerr := st.Close()
+			return nil, fmt.Errorf("node: fast-sync block %d: %w (close err %v)", h, err, cerr)
+		}
+		if b.Header.Hash() != headers[h].Hash() {
+			cerr := st.Close()
+			return nil, fmt.Errorf("node: peer served a block %d off the agreed chain (close err %v)", h, cerr)
+		}
+		if _, err := st.Append(b); err != nil {
+			cerr := st.Close()
+			return nil, fmt.Errorf("node: fast-sync append %d: %w (close err %v)", h, err, cerr)
+		}
+		mBlocks.Inc()
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Download and reassemble the checkpoint payload.
+	mChunks := reg.Counter("sebdb_fastsync_chunks_total")
+	mBytes := reg.Counter("sebdb_fastsync_chunk_bytes_total")
+	hLat := reg.Histogram("sebdb_fastsync_chunk_micros")
+	payload := make([]byte, 0, offer.Size)
+	for i := uint32(0); i < offer.Chunks; i++ {
+		t0 := reg.Now()
+		chunk, err := peer.SnapshotChunk(i)
+		if err != nil {
+			return nil, err
+		}
+		hLat.Observe(reg.Now() - t0)
+		mChunks.Inc()
+		mBytes.Add(uint64(len(chunk)))
+		payload = append(payload, chunk...)
+	}
+	if uint64(len(payload)) != offer.Size {
+		return nil, fmt.Errorf("node: checkpoint transfer of %d bytes, offer said %d", len(payload), offer.Size)
+	}
+	if crc32.ChecksumIEEE(payload) != offer.CRC {
+		return nil, fmt.Errorf("node: checkpoint transfer fails CRC")
+	}
+
+	// Install decodes (rejecting any structural tampering) and persists
+	// atomically; its own anchor check re-verifies against the payload.
+	ck, err := snapshot.NewDir(nil, dataDir).Install(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Height != offer.Height || ck.Anchor != offer.Anchor {
+		return nil, fmt.Errorf("node: installed checkpoint disagrees with its offer")
+	}
+	return &FastSyncResult{
+		CheckpointHeight: ck.Height,
+		Blocks:           offer.Height,
+		ChunkBytes:       uint64(len(payload)),
+	}, nil
+}

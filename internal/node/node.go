@@ -35,6 +35,8 @@ func New(engine *core.Engine) *FullNode {
 	n.server.Handle(network.KindAuthQuery, n.handleAuthQuery)
 	n.server.Handle(network.KindAuthDigest, n.handleAuthDigest)
 	n.server.Handle(network.KindSQL, n.handleSQL)
+	n.server.Handle(network.KindSnapOffer, n.handleSnapOffer)
+	n.server.Handle(network.KindSnapChunk, n.handleSnapChunk)
 	return n
 }
 

@@ -19,6 +19,8 @@ type QueryNode interface {
 	AuthQuery(r *AuthRequest) (*auth.Answer, error)
 	AuthDigest(r *AuthRequest) ([32]byte, error)
 	SQL(query string) (*core.Result, error)
+	SnapshotOffer() (*SnapshotOffer, error)
+	SnapshotChunk(idx uint32) ([]byte, error)
 }
 
 // Remote is a TCP client stub for a full node; it implements QueryNode

@@ -25,6 +25,10 @@ import (
 //	  project                  sort / limit / projection
 //	  verify                   thin-client VO verification
 //
+//	recovery                   the root of one Engine.Open
+//	  recovery.checkpoint      newest-checkpoint load + derived-state restore
+//	  recovery.replay          post-checkpoint suffix replay (counter: suffix_blocks)
+//
 // Every Finish also feeds the span's duration into the registry's
 // `sebdb_stage_micros{stage="<name>"}` histogram, so stage latencies
 // aggregate on /metrics even when no one reads the trace.

@@ -1,0 +1,275 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sebdb/internal/faultfs"
+	"sebdb/internal/types"
+)
+
+// DirName is the checkpoint directory created inside a data directory.
+const DirName = "snapshots"
+
+const manifestName = "MANIFEST"
+
+// keepCheckpoints is how many checkpoint files GC retains: the one the
+// manifest pins plus the previous one, so a crash mid-write can always
+// fall back one generation.
+const keepCheckpoints = 2
+
+// Manifest pins the current checkpoint to a chain position.
+type Manifest struct {
+	// Height and Anchor mirror the checkpoint's pin.
+	Height uint64
+	Anchor types.Hash
+	// File is the checkpoint file name within the directory.
+	File string
+	// Size and CRC describe File's payload (excluding its own CRC
+	// trailer), letting fast-sync verify a transfer cheaply.
+	Size uint64
+	CRC  uint32
+}
+
+func (m *Manifest) encode() []byte {
+	e := types.NewEncoder(64)
+	e.Uint32(manifestMagic)
+	e.Uint32(version)
+	e.Uint64(m.Height)
+	e.Bytes32(m.Anchor)
+	e.Str(m.File)
+	e.Uint64(m.Size)
+	e.Uint32(m.CRC)
+	body := e.Bytes()
+	out := make([]byte, len(body)+4)
+	copy(out, body)
+	binary.BigEndian.PutUint32(out[len(body):], crc32.ChecksumIEEE(body))
+	return out
+}
+
+func decodeManifest(buf []byte) (*Manifest, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short manifest", ErrCorrupt)
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: manifest CRC mismatch", ErrCorrupt)
+	}
+	d := types.NewDecoder(body)
+	magic, err := d.Uint32()
+	if err != nil || magic != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	ver, err := d.Uint32()
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, ver)
+	}
+	m := &Manifest{}
+	if m.Height, err = d.Uint64(); err != nil {
+		return nil, corrupt(err)
+	}
+	if m.Anchor, err = d.Bytes32(); err != nil {
+		return nil, corrupt(err)
+	}
+	if m.File, err = d.Str(); err != nil {
+		return nil, corrupt(err)
+	}
+	if m.File != filepath.Base(m.File) || m.File == "" {
+		return nil, fmt.Errorf("%w: manifest file name %q escapes the directory", ErrCorrupt, m.File)
+	}
+	if m.Size, err = d.Uint64(); err != nil {
+		return nil, corrupt(err)
+	}
+	if m.CRC, err = d.Uint32(); err != nil {
+		return nil, corrupt(err)
+	}
+	return m, nil
+}
+
+// Dir manages the checkpoint directory of one data directory. All I/O
+// goes through the injected filesystem so the faultfs crash matrix
+// covers every write, rename and load step.
+type Dir struct {
+	fs   faultfs.FS
+	path string
+}
+
+// NewDir returns a Dir over <dataDir>/snapshots using fs (nil means
+// the real filesystem). No I/O happens until Write or Load.
+func NewDir(fs faultfs.FS, dataDir string) *Dir {
+	if fs == nil {
+		fs = faultfs.OS()
+	}
+	return &Dir{fs: fs, path: filepath.Join(dataDir, DirName)}
+}
+
+// Path returns the checkpoint directory path.
+func (d *Dir) Path() string { return d.path }
+
+func ckptFileName(height uint64) string {
+	return fmt.Sprintf("ckpt-%012d.snap", height)
+}
+
+// Write atomically persists a checkpoint and repoints the manifest at
+// it, then garbage-collects checkpoints older than the retained set.
+func (d *Dir) Write(c *Checkpoint) error {
+	payload := c.Encode()
+	crc := crc32.ChecksumIEEE(payload)
+	blob := make([]byte, len(payload)+4)
+	copy(blob, payload)
+	binary.BigEndian.PutUint32(blob[len(payload):], crc)
+
+	if err := d.fs.MkdirAll(d.path, 0o755); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	name := ckptFileName(c.Height)
+	if err := d.writeAtomic(name, blob); err != nil {
+		return err
+	}
+	m := &Manifest{Height: c.Height, Anchor: c.Anchor, File: name, Size: uint64(len(payload)), CRC: crc}
+	if err := d.writeAtomic(manifestName, m.encode()); err != nil {
+		return err
+	}
+	mWrites.Inc()
+	mWriteBytes.Add(uint64(len(blob)))
+	return d.gc(name)
+}
+
+// writeAtomic writes name via a .tmp sibling, syncs, and renames into
+// place — the only write protocol allowed in this package (enforced by
+// the sebdb-vet atomicwrite analyzer).
+func (d *Dir) writeAtomic(name string, blob []byte) error {
+	tmp := filepath.Join(d.path, name+".tmp")
+	f, err := d.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	_, err = f.Write(blob)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("snapshot: writing %s: %w", tmp, err)
+	}
+	if err := d.fs.Rename(tmp, filepath.Join(d.path, name)); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// gc removes checkpoint files and stale temp files beyond the retained
+// set. Removal failures are reported but the checkpoint write already
+// succeeded, so callers may treat the error as advisory.
+func (d *Dir) gc(current string) error {
+	entries, err := d.fs.ReadDir(d.path)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var snaps []string
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case filepath.Ext(name) == ".tmp":
+			if err := d.fs.Remove(filepath.Join(d.path, name)); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("snapshot: gc: %w", err)
+			}
+		case filepath.Ext(name) == ".snap":
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(snaps) // zero-padded heights sort chronologically
+	// Retain the newest keepCheckpoints files; the manifest's current
+	// target is among them by construction (it has the top height).
+	for len(snaps) > keepCheckpoints {
+		name := snaps[0]
+		snaps = snaps[1:]
+		if name == current {
+			continue
+		}
+		if err := d.fs.Remove(filepath.Join(d.path, name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("snapshot: gc: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// Load returns the checkpoint the manifest pins, fully CRC-verified
+// and decoded. A missing, corrupt or inconsistent checkpoint returns
+// (nil, nil): the caller falls back to full replay, and the condition
+// is visible on the sebdb_snapshot_loads_total{result=...} counters.
+func (d *Dir) Load() (*Checkpoint, error) {
+	m, payload, err := d.Raw()
+	if err != nil || m == nil {
+		return nil, err
+	}
+	c, err := Decode(payload)
+	if err != nil {
+		mLoadCorrupt.Inc()
+		return nil, nil //nolint — corrupt checkpoints degrade to full replay by design
+	}
+	if c.Height != m.Height || c.Anchor != m.Anchor {
+		mLoadCorrupt.Inc()
+		return nil, nil
+	}
+	mLoadOK.Inc()
+	mLoadBytes.Add(uint64(len(payload)))
+	return c, nil
+}
+
+// Raw returns the manifest and the raw (CRC-stripped) checkpoint
+// payload it pins, verifying the file CRC but not decoding — the form
+// fast-sync serves to peers. A missing or corrupt checkpoint returns
+// (nil, nil, nil).
+func (d *Dir) Raw() (*Manifest, []byte, error) {
+	buf, err := d.fs.ReadFile(filepath.Join(d.path, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			mLoadMiss.Inc()
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	m, err := decodeManifest(buf)
+	if err != nil {
+		mLoadCorrupt.Inc()
+		return nil, nil, nil //nolint — corrupt manifest degrades to full replay by design
+	}
+	blob, err := d.fs.ReadFile(filepath.Join(d.path, m.File))
+	if err != nil {
+		mLoadCorrupt.Inc()
+		return nil, nil, nil
+	}
+	if uint64(len(blob)) != m.Size+4 {
+		mLoadCorrupt.Inc()
+		return nil, nil, nil
+	}
+	payload, tail := blob[:m.Size], blob[m.Size:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(tail) || crc32.ChecksumIEEE(payload) != m.CRC {
+		mLoadCorrupt.Inc()
+		return nil, nil, nil
+	}
+	return m, payload, nil
+}
+
+// Install verifies a checkpoint payload received from a peer and
+// persists it as this directory's current checkpoint, returning the
+// decoded form. Unlike Load, corruption here is an error — the caller
+// chose this payload and must know it was rejected.
+func (d *Dir) Install(payload []byte) (*Checkpoint, error) {
+	c, err := Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Write(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,16 @@
+package snapshot
+
+import "sebdb/internal/obs"
+
+// Checkpoint lifecycle metrics, reported to the default registry.
+// Loads are split by outcome so operators can see a node silently
+// degrading to full replay ("miss" = no checkpoint, "corrupt" = CRC or
+// structural failure discarded by design).
+var (
+	mWrites      = obs.Default.Counter("sebdb_snapshot_writes_total")
+	mWriteBytes  = obs.Default.Counter("sebdb_snapshot_write_bytes_total")
+	mLoadOK      = obs.Default.Counter(`sebdb_snapshot_loads_total{result="ok"}`)
+	mLoadMiss    = obs.Default.Counter(`sebdb_snapshot_loads_total{result="miss"}`)
+	mLoadCorrupt = obs.Default.Counter(`sebdb_snapshot_loads_total{result="corrupt"}`)
+	mLoadBytes   = obs.Default.Counter("sebdb_snapshot_load_bytes_total")
+)

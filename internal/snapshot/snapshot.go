@@ -1,0 +1,432 @@
+// Package snapshot implements SEBDB's checkpoint subsystem: atomic,
+// CRC-verified snapshots of the engine's derived state — storage
+// segment metadata, catalog, contract registry, table-level bitmaps,
+// layered indexes and ALIs — pinned to a block height and an anchor
+// block hash. The chain remains the only source of truth: a checkpoint
+// merely lets Engine.Open seed state for blocks [0, Height) and replay
+// only the suffix, and any corrupt or stale checkpoint is discarded in
+// favour of full replay (never wrong answers, only slower ones).
+//
+// On-disk layout, inside <data-dir>/snapshots/:
+//
+//	ckpt-<height>.snap   encoded checkpoint payload + CRC-32 trailer
+//	MANIFEST             pins {height, anchor, file, size, crc}
+//
+// Both files are written to a .tmp sibling, synced, and renamed into
+// place, so a crash at any point leaves either the previous checkpoint
+// or the new one — never a half-written mix (see faultfs crash tests).
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sebdb/internal/contract"
+	"sebdb/internal/index/layered"
+	"sebdb/internal/mbtree"
+	"sebdb/internal/schema"
+	"sebdb/internal/storage"
+	"sebdb/internal/types"
+)
+
+const (
+	ckptMagic     = 0x5EBD_C4B7
+	manifestMagic = 0x5EBD_3A1F
+	version       = 1
+)
+
+// ErrCorrupt is returned when a checkpoint or manifest fails its CRC,
+// magic, or structural checks. Callers treat it as "no checkpoint".
+var ErrCorrupt = errors.New("snapshot: corrupt checkpoint")
+
+// IndexState is the serialised form of one layered index: its
+// identity, first-level histogram bounds (continuous only) and the
+// per-block second-level entries. Replaying the entries through
+// layered.Index.AppendBlock reproduces the index exactly.
+type IndexState struct {
+	// Key is the engine's registry key (e.g. "donate.money" or the
+	// system keys ".senid"/".tname").
+	Key string
+	// Attr is the indexed attribute name.
+	Attr string
+	// Continuous selects histogram bucketing; Bounds are its inner
+	// boundaries.
+	Continuous bool
+	Bounds     []float64
+	// Blocks holds, per block height, the second-level entries in key
+	// order (nil for blocks without indexed rows).
+	Blocks [][]layered.Entry
+}
+
+// ALIState is the serialised form of one authenticated layered index:
+// per-block MB-tree records (key + authenticated payload). Rebuilding
+// the trees re-derives every root hash, so no digests are persisted —
+// a tampered checkpoint cannot forge authentication state.
+type ALIState struct {
+	Key        string
+	Attr       string
+	Continuous bool
+	Bounds     []float64
+	Blocks     [][]mbtree.Record
+}
+
+// Checkpoint is the full derived state of an engine at a block height.
+type Checkpoint struct {
+	// Height is the number of blocks the checkpoint covers: state
+	// reflects blocks [0, Height).
+	Height uint64
+	// Anchor is the hash of block Height-1, pinning the checkpoint to
+	// one specific chain.
+	Anchor types.Hash
+	// LastTid and LastTs are the engine's transaction-id and
+	// block-timestamp high-water marks.
+	LastTid uint64
+	LastTs  int64
+	// Store is the segment metadata for blocks [0, Height).
+	Store *storage.Meta
+	// Tables is the catalog (user table schemas, in name order).
+	Tables []*schema.Table
+	// Contracts is the contract registry (in name order).
+	Contracts []*contract.Contract
+	// TableIdx maps table-index keys (Tname and "senid:"-prefixed
+	// SenID values) to the sorted block ids containing them.
+	TableIdx map[string][]uint32
+	// Indexes are the layered indexes (system and user), key order.
+	Indexes []IndexState
+	// ALIs are the authenticated indexes, key order.
+	ALIs []ALIState
+}
+
+// Encode renders the checkpoint payload (without the CRC trailer).
+func (c *Checkpoint) Encode() []byte {
+	e := types.NewEncoder(1 << 16)
+	e.Uint32(ckptMagic)
+	e.Uint32(version)
+	e.Uint64(c.Height)
+	e.Bytes32(c.Anchor)
+	e.Uint64(c.LastTid)
+	e.Int64(c.LastTs)
+
+	e.Count(c.Store.Count())
+	for i := range c.Store.Headers {
+		c.Store.Headers[i].Encode(e)
+		e.Uint32(c.Store.Locs[i].Segment)
+		e.Int64(c.Store.Locs[i].Offset)
+		e.Int64(c.Store.Lens[i])
+		e.Count(len(c.Store.TxOffs[i]))
+		for _, o := range c.Store.TxOffs[i] {
+			e.Uint32(o)
+		}
+	}
+
+	e.Count(len(c.Tables))
+	for _, t := range c.Tables {
+		e.Values(t.EncodeDDL())
+	}
+	e.Count(len(c.Contracts))
+	for _, ct := range c.Contracts {
+		e.Values(ct.EncodeDeploy())
+	}
+
+	keys := make([]string, 0, len(c.TableIdx))
+	for k := range c.TableIdx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Count(len(keys))
+	for _, k := range keys {
+		e.Str(k)
+		e.Count(len(c.TableIdx[k]))
+		for _, b := range c.TableIdx[k] {
+			e.Uint32(b)
+		}
+	}
+
+	e.Count(len(c.Indexes))
+	for i := range c.Indexes {
+		x := &c.Indexes[i]
+		encodeIndexHead(e, x.Key, x.Attr, x.Continuous, x.Bounds)
+		e.Count(len(x.Blocks))
+		for _, es := range x.Blocks {
+			e.Count(len(es))
+			for _, en := range es {
+				e.Value(en.Key)
+				e.Uint32(en.Pos)
+			}
+		}
+	}
+
+	e.Count(len(c.ALIs))
+	for i := range c.ALIs {
+		a := &c.ALIs[i]
+		encodeIndexHead(e, a.Key, a.Attr, a.Continuous, a.Bounds)
+		e.Count(len(a.Blocks))
+		for _, rs := range a.Blocks {
+			e.Count(len(rs))
+			for _, r := range rs {
+				e.Value(r.Key)
+				e.Blob(r.Payload)
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+func encodeIndexHead(e *types.Encoder, key, attr string, cont bool, bounds []float64) {
+	e.Str(key)
+	e.Str(attr)
+	if cont {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+	e.Count(len(bounds))
+	for _, b := range bounds {
+		e.Float64(b)
+	}
+}
+
+// Decode parses a checkpoint payload previously produced by Encode.
+func Decode(buf []byte) (*Checkpoint, error) {
+	d := types.NewDecoder(buf)
+	magic, err := d.Uint32()
+	if err != nil || magic != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ver, err := d.Uint32()
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	c := &Checkpoint{TableIdx: make(map[string][]uint32)}
+	if c.Height, err = d.Uint64(); err != nil {
+		return nil, corrupt(err)
+	}
+	if c.Anchor, err = d.Bytes32(); err != nil {
+		return nil, corrupt(err)
+	}
+	if c.LastTid, err = d.Uint64(); err != nil {
+		return nil, corrupt(err)
+	}
+	if c.LastTs, err = d.Int64(); err != nil {
+		return nil, corrupt(err)
+	}
+
+	n, err := count(d)
+	if err != nil {
+		return nil, err
+	}
+	c.Store = &storage.Meta{
+		Headers: make([]types.BlockHeader, 0, n),
+		Locs:    make([]storage.Location, 0, n),
+		Lens:    make([]int64, 0, n),
+		TxOffs:  make([][]uint32, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		h, err := types.DecodeBlockHeader(d)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		var loc storage.Location
+		if loc.Segment, err = d.Uint32(); err != nil {
+			return nil, corrupt(err)
+		}
+		if loc.Offset, err = d.Int64(); err != nil {
+			return nil, corrupt(err)
+		}
+		bl, err := d.Int64()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		no, err := count(d)
+		if err != nil {
+			return nil, err
+		}
+		offs := make([]uint32, no)
+		for j := range offs {
+			if offs[j], err = d.Uint32(); err != nil {
+				return nil, corrupt(err)
+			}
+		}
+		c.Store.Headers = append(c.Store.Headers, h)
+		c.Store.Locs = append(c.Store.Locs, loc)
+		c.Store.Lens = append(c.Store.Lens, bl)
+		c.Store.TxOffs = append(c.Store.TxOffs, offs)
+	}
+
+	if n, err = count(d); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		vs, err := d.Values()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		t, err := schema.DecodeDDL(vs)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		c.Tables = append(c.Tables, t)
+	}
+	if n, err = count(d); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		vs, err := d.Values()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		ct, err := contract.DecodeDeploy(vs)
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		c.Contracts = append(c.Contracts, ct)
+	}
+
+	if n, err = count(d); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		k, err := d.Str()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		nb, err := count(d)
+		if err != nil {
+			return nil, err
+		}
+		blocks := make([]uint32, nb)
+		for j := range blocks {
+			if blocks[j], err = d.Uint32(); err != nil {
+				return nil, corrupt(err)
+			}
+		}
+		c.TableIdx[k] = blocks
+	}
+
+	if n, err = count(d); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var x IndexState
+		if err := decodeIndexHead(d, &x.Key, &x.Attr, &x.Continuous, &x.Bounds); err != nil {
+			return nil, err
+		}
+		nb, err := count(d)
+		if err != nil {
+			return nil, err
+		}
+		x.Blocks = make([][]layered.Entry, nb)
+		for b := range x.Blocks {
+			ne, err := count(d)
+			if err != nil {
+				return nil, err
+			}
+			if ne == 0 {
+				continue
+			}
+			es := make([]layered.Entry, ne)
+			for j := range es {
+				if es[j].Key, err = d.Value(); err != nil {
+					return nil, corrupt(err)
+				}
+				if es[j].Pos, err = d.Uint32(); err != nil {
+					return nil, corrupt(err)
+				}
+			}
+			x.Blocks[b] = es
+		}
+		c.Indexes = append(c.Indexes, x)
+	}
+
+	if n, err = count(d); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var a ALIState
+		if err := decodeIndexHead(d, &a.Key, &a.Attr, &a.Continuous, &a.Bounds); err != nil {
+			return nil, err
+		}
+		nb, err := count(d)
+		if err != nil {
+			return nil, err
+		}
+		a.Blocks = make([][]mbtree.Record, nb)
+		for b := range a.Blocks {
+			nr, err := count(d)
+			if err != nil {
+				return nil, err
+			}
+			if nr == 0 {
+				continue
+			}
+			rs := make([]mbtree.Record, nr)
+			for j := range rs {
+				if rs[j].Key, err = d.Value(); err != nil {
+					return nil, corrupt(err)
+				}
+				if rs[j].Payload, err = d.Blob(); err != nil {
+					return nil, corrupt(err)
+				}
+			}
+			a.Blocks[b] = rs
+		}
+		c.ALIs = append(c.ALIs, a)
+	}
+
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.Remaining())
+	}
+	if uint64(c.Store.Count()) != c.Height || c.Height == 0 {
+		return nil, fmt.Errorf("%w: height %d covers %d blocks", ErrCorrupt, c.Height, c.Store.Count())
+	}
+	if c.Store.Headers[c.Height-1].Hash() != c.Anchor {
+		return nil, fmt.Errorf("%w: anchor disagrees with embedded tip header", ErrCorrupt)
+	}
+	return c, nil
+}
+
+func decodeIndexHead(d *types.Decoder, key, attr *string, cont *bool, bounds *[]float64) error {
+	var err error
+	if *key, err = d.Str(); err != nil {
+		return corrupt(err)
+	}
+	if *attr, err = d.Str(); err != nil {
+		return corrupt(err)
+	}
+	b, err := d.Uint8()
+	if err != nil {
+		return corrupt(err)
+	}
+	*cont = b == 1
+	n, err := count(d)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		bs := make([]float64, n)
+		for i := range bs {
+			if bs[i], err = d.Float64(); err != nil {
+				return corrupt(err)
+			}
+		}
+		*bounds = bs
+	}
+	return nil
+}
+
+// count reads a count prefix and bounds it by the remaining bytes —
+// every counted element occupies at least one byte, so a count beyond
+// Remaining proves corruption before any allocation happens.
+func count(d *types.Decoder) (int, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, corrupt(err)
+	}
+	if int(n) > d.Remaining() {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, n, d.Remaining())
+	}
+	return int(n), nil
+}
+
+func corrupt(err error) error { return fmt.Errorf("%w: %v", ErrCorrupt, err) }

@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"sebdb/internal/types"
+)
+
+// Meta is a point-in-time image of the store's in-memory segment
+// metadata for the first Count blocks of the chain: everything recover
+// would rebuild by scanning the segments from byte zero. A checkpoint
+// embeds a Meta so a restart can seed this state directly and scan
+// only the suffix written after the checkpoint.
+type Meta struct {
+	// Headers holds the block headers in height order.
+	Headers []types.BlockHeader
+	// Locs holds each block's on-disk location.
+	Locs []Location
+	// Lens holds each block's encoded body length.
+	Lens []int64
+	// TxOffs holds each block's transaction byte offsets (with the
+	// final sentinel), as maintained by Append and scanSegment.
+	TxOffs [][]uint32
+}
+
+// Count returns the number of blocks the metadata covers.
+func (m *Meta) Count() int { return len(m.Headers) }
+
+// Meta snapshots the store's segment metadata for blocks [0, count).
+// count must not exceed the current chain length.
+func (s *Store) Meta(count uint64) (*Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if count > uint64(len(s.headers)) {
+		return nil, ErrNoBlock
+	}
+	m := &Meta{
+		Headers: append([]types.BlockHeader(nil), s.headers[:count]...),
+		Locs:    append([]Location(nil), s.locs[:count]...),
+		Lens:    append([]int64(nil), s.lens[:count]...),
+		TxOffs:  make([][]uint32, count),
+	}
+	for i := range m.TxOffs {
+		m.TxOffs[i] = append([]uint32(nil), s.txOffs[i]...)
+	}
+	return m, nil
+}
+
+// OpenWithMeta opens the store seeded with checkpoint metadata,
+// scanning only the blocks appended after the metadata was taken. The
+// metadata is verified against the segments before it is trusted: the
+// last covered block is re-read from disk (magic, CRC, decoded header)
+// and its hash must equal the metadata's tip hash — the checkpoint's
+// anchor. Any disagreement returns ErrMetaMismatch, on which callers
+// must fall back to a full-replay Open.
+func OpenWithMeta(dir string, opts Options, m *Meta) (*Store, error) {
+	s, err := newStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.openWithMeta(m); err != nil {
+		s.Close() //sebdb:ignore-err releasing partially opened handles on the error path
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) openWithMeta(m *Meta) error {
+	if m == nil || len(m.Headers) == 0 ||
+		len(m.Headers) != len(m.Locs) || len(m.Headers) != len(m.Lens) ||
+		len(m.Headers) != len(m.TxOffs) {
+		return fmt.Errorf("%w: malformed metadata", ErrMetaMismatch)
+	}
+	last := len(m.Headers) - 1
+	loc := m.Locs[last]
+	bodyLen, err := s.verifyAnchor(m, last)
+	if err != nil {
+		return err
+	}
+
+	// The anchor matches the bytes on disk: seed the in-memory state.
+	s.headers = append([]types.BlockHeader(nil), m.Headers...)
+	s.locs = append([]Location(nil), m.Locs...)
+	s.lens = append([]int64(nil), m.Lens...)
+	s.txOffs = make([][]uint32, len(m.TxOffs))
+	for i := range m.TxOffs {
+		s.txOffs[i] = append([]uint32(nil), m.TxOffs[i]...)
+	}
+	s.txBase = make([]uint64, len(m.Headers))
+	for i := range m.Headers {
+		s.txBase[i] = m.Headers[i].FirstTid
+	}
+
+	// Scan only the suffix: the bytes after the anchor block in its
+	// segment, plus any later segments.
+	segs, err := s.listSegs()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+	}
+	if len(segs) == 0 || segs[len(segs)-1] < loc.Segment {
+		return fmt.Errorf("%w: anchor segment %06d missing", ErrMetaMismatch, loc.Segment)
+	}
+	start := loc.Offset + headerSize + bodyLen + trailerSize
+	for _, n := range segs {
+		if n < loc.Segment {
+			continue
+		}
+		base := int64(0)
+		if n == loc.Segment {
+			base = start
+		}
+		f, err := s.fs.Open(s.segPath(n))
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		sr := io.NewSectionReader(f, base, math.MaxInt64-base)
+		valid, err := s.scanSegment(sr, n, base)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("storage: %w", cerr)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+		}
+		if n == segs[len(segs)-1] {
+			if err := s.repairTail(n, valid); err != nil {
+				return err
+			}
+			s.curSeg, s.curSize = n, valid
+		}
+	}
+	f, err := s.fs.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	s.cur = f
+	return nil
+}
+
+// verifyAnchor re-reads block `last` from disk and checks magic, CRC
+// and header hash against the metadata, returning the stored body
+// length. All failures are ErrMetaMismatch.
+func (s *Store) verifyAnchor(m *Meta, last int) (int64, error) {
+	loc := m.Locs[last]
+	f, err := s.fs.Open(s.segPath(loc.Segment))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+	}
+	defer f.Close() //sebdb:ignore-err read-only handle
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, loc.Offset); err != nil {
+		return 0, fmt.Errorf("%w: reading anchor record: %v", ErrMetaMismatch, err)
+	}
+	if magic := binary.BigEndian.Uint32(hdr); magic != recordMagic {
+		return 0, fmt.Errorf("%w: bad magic at anchor", ErrMetaMismatch)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if int64(n) != m.Lens[last] {
+		return 0, fmt.Errorf("%w: anchor length %d != %d", ErrMetaMismatch, n, m.Lens[last])
+	}
+	payload := make([]byte, int(n)+trailerSize)
+	if _, err := f.ReadAt(payload, loc.Offset+headerSize); err != nil {
+		return 0, fmt.Errorf("%w: reading anchor body: %v", ErrMetaMismatch, err)
+	}
+	body := payload[:n]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[n:]) {
+		return 0, fmt.Errorf("%w: anchor CRC mismatch", ErrMetaMismatch)
+	}
+	h, err := types.DecodeBlockHeader(types.NewDecoder(body))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+	}
+	if h.Height != uint64(last) || h.Hash() != m.Headers[last].Hash() {
+		return 0, fmt.Errorf("%w: anchor hash disagrees at height %d", ErrMetaMismatch, last)
+	}
+	return int64(n), nil
+}

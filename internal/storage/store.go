@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"sebdb/internal/faultfs"
 	"sebdb/internal/types"
 )
 
@@ -36,6 +37,12 @@ var ErrNoBlock = errors.New("storage: no such block")
 // current tip.
 var ErrNotLinked = errors.New("storage: block does not link to tip")
 
+// ErrMetaMismatch is returned by OpenWithMeta when the supplied
+// checkpoint metadata does not match the segment files on disk
+// (wrong anchor, missing segments, malformed metadata). Callers fall
+// back to a full-replay Open: never wrong answers, only slower ones.
+var ErrMetaMismatch = errors.New("storage: checkpoint metadata does not match segments")
+
 // Location identifies where a block lives on disk.
 type Location struct {
 	// Segment is the segment file number.
@@ -52,6 +59,9 @@ type Options struct {
 	// Sync forces an fsync after every append. Consensus already
 	// replicates blocks, so the default is false.
 	Sync bool
+	// FS is the filesystem the store operates on. Nil means the real
+	// OS filesystem; tests inject faultfs fault models here.
+	FS faultfs.FS
 }
 
 // Store is an append-only block store over a directory of segment files.
@@ -59,7 +69,8 @@ type Store struct {
 	mu      sync.RWMutex
 	dir     string
 	opts    Options
-	cur     *os.File
+	fs      faultfs.FS
+	cur     faultfs.File
 	curSeg  uint32
 	curSize int64
 	locs    []Location
@@ -80,35 +91,45 @@ type Store struct {
 	// readers caches read-only handles per segment; segments are
 	// immutable once rolled and the current one is append-only, so
 	// positional reads through a shared handle are safe.
-	readers map[uint32]*os.File
+	readers map[uint32]faultfs.File
 }
 
 // Open opens (creating if necessary) a block store in dir and recovers
 // its state by scanning existing segments.
 func Open(dir string, opts Options) (*Store, error) {
-	if opts.SegmentSize <= 0 {
-		opts.SegmentSize = DefaultSegmentSize
+	s, err := newStore(dir, opts)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
-	}
-	s := &Store{dir: dir, opts: opts, readers: make(map[uint32]*os.File)}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
+func newStore(dir string, opts Options) (*Store, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS()
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Store{dir: dir, opts: opts, fs: opts.FS, readers: make(map[uint32]faultfs.File)}, nil
+}
+
 func (s *Store) segPath(n uint32) string {
 	return filepath.Join(s.dir, fmt.Sprintf("blocks-%06d.seg", n))
 }
 
-// recover scans segment files in order, validating records and chain
-// linkage, and truncates a torn final record if one exists.
-func (s *Store) recover() error {
-	entries, err := os.ReadDir(s.dir)
+// listSegs enumerates the store's segment file numbers in order and
+// verifies they are contiguous from zero.
+func (s *Store) listSegs() ([]uint32, error) {
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return nil, fmt.Errorf("storage: %w", err)
 	}
 	var segs []uint32
 	for _, e := range entries {
@@ -120,16 +141,46 @@ func (s *Store) recover() error {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	for i, n := range segs {
 		if uint32(i) != n {
-			return fmt.Errorf("storage: segment files not contiguous: missing %06d", i)
+			return nil, fmt.Errorf("storage: segment files not contiguous: missing %06d", i)
 		}
+	}
+	return segs, nil
+}
+
+// repairTail truncates segment n to valid when bytes beyond it exist —
+// a torn final record. A clean tail is left untouched so opening an
+// intact store on a read-only filesystem succeeds; a failed truncation
+// is an error (the tail would stay corrupt), reported with the segment
+// path.
+func (s *Store) repairTail(n uint32, valid int64) error {
+	path := s.segPath(n)
+	fi, err := s.fs.Stat(path)
+	if err != nil {
+		return fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if fi.Size() <= valid {
+		return nil
+	}
+	if err := s.fs.Truncate(path, valid); err != nil {
+		return fmt.Errorf("storage: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// recover scans segment files in order, validating records and chain
+// linkage, and truncates a torn final record if one exists.
+func (s *Store) recover() error {
+	segs, err := s.listSegs()
+	if err != nil {
+		return err
 	}
 
 	for _, n := range segs {
-		f, err := os.Open(s.segPath(n))
+		f, err := s.fs.Open(s.segPath(n))
 		if err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
-		valid, err := s.scanSegment(f, n)
+		valid, err := s.scanSegment(f, n, 0)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = fmt.Errorf("storage: %w", cerr)
 		}
@@ -138,8 +189,8 @@ func (s *Store) recover() error {
 		}
 		// A torn write can only be at the tail of the last segment.
 		if n == segs[len(segs)-1] {
-			if err := os.Truncate(s.segPath(n), valid); err != nil {
-				return fmt.Errorf("storage: truncating torn tail: %w", err)
+			if err := s.repairTail(n, valid); err != nil {
+				return err
 			}
 			s.curSeg, s.curSize = n, valid
 		}
@@ -147,7 +198,7 @@ func (s *Store) recover() error {
 	if len(segs) == 0 {
 		s.curSeg, s.curSize = 0, 0
 	}
-	f, err := os.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -155,13 +206,14 @@ func (s *Store) recover() error {
 	return nil
 }
 
-// scanSegment reads records from f, appending to the in-memory state,
-// and returns the offset of the first invalid byte (the valid length).
-func (s *Store) scanSegment(f *os.File, seg uint32) (int64, error) {
-	var off int64
+// scanSegment reads records from r (positioned at byte offset base of
+// segment seg), appending to the in-memory state, and returns the
+// offset of the first invalid byte (the valid length).
+func (s *Store) scanSegment(r io.Reader, seg uint32, base int64) (int64, error) {
+	off := base
 	hdr := make([]byte, headerSize)
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			return off, nil // clean EOF or torn header: stop here
 		}
 		if binary.BigEndian.Uint32(hdr) != recordMagic {
@@ -169,7 +221,7 @@ func (s *Store) scanSegment(f *os.File, seg uint32) (int64, error) {
 		}
 		n := binary.BigEndian.Uint32(hdr[4:])
 		payload := make([]byte, int(n)+trailerSize)
-		if _, err := io.ReadFull(f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			return off, nil // torn payload
 		}
 		body := payload[:n]
@@ -266,7 +318,7 @@ func (s *Store) rollSegment() error {
 	}
 	s.curSeg++
 	s.curSize = 0
-	f, err := os.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -378,7 +430,7 @@ func (s *Store) Close() error {
 }
 
 // reader returns a cached read-only handle for a segment.
-func (s *Store) reader(seg uint32) (*os.File, error) {
+func (s *Store) reader(seg uint32) (faultfs.File, error) {
 	s.mu.RLock()
 	f, ok := s.readers[seg]
 	s.mu.RUnlock()
@@ -390,7 +442,7 @@ func (s *Store) reader(seg uint32) (*os.File, error) {
 	if f, ok := s.readers[seg]; ok {
 		return f, nil
 	}
-	f, err := os.Open(s.segPath(seg))
+	f, err := s.fs.Open(s.segPath(seg))
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
@@ -445,7 +497,7 @@ type Iter struct {
 	lo, hi  uint64
 	locs    []Location
 	lens    []int64
-	readers map[uint32]*os.File
+	readers map[uint32]faultfs.File
 }
 
 // Blocks snapshots the range [lo, hi) for iteration, clamping hi to
@@ -460,7 +512,7 @@ func (s *Store) Blocks(lo, hi uint64) (*Iter, error) {
 	if lo > hi {
 		lo = hi
 	}
-	it := &Iter{lo: lo, hi: hi, readers: make(map[uint32]*os.File)}
+	it := &Iter{lo: lo, hi: hi, readers: make(map[uint32]faultfs.File)}
 	if lo < hi {
 		it.locs = append([]Location(nil), s.locs[lo:hi]...)
 		it.lens = append([]int64(nil), s.lens[lo:hi]...)

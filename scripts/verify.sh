@@ -33,6 +33,10 @@ go test -race -short ./...
 echo "== obs race pass =="
 go test -race ./internal/obs/... ./internal/parallel/...
 
+echo "== faultfs crash matrix (-race) =="
+go test -race -run 'Injector|CrashMatrix|RestartEquivalence' \
+    ./internal/faultfs ./internal/snapshot ./internal/core
+
 echo "== metrics endpoint smoke =="
 go test -race -run TestMetricsEndpoints ./cmd/sebdb-server
 
