@@ -158,9 +158,14 @@ type Engine struct {
 
 	// snapDir is the checkpoint directory; ckptErr the outcome of the
 	// last automatic checkpoint; recovery the finished Open span tree.
-	snapDir  *snapshot.Dir
-	ckptErr  error
-	recovery *obs.Span
+	// ckptMu serialises checkpoint persists (which run outside e.mu so
+	// commits and reads are never stalled behind the fsync) and guards
+	// ckptFloor, the height of the newest persisted checkpoint.
+	snapDir   *snapshot.Dir
+	ckptErr   error
+	ckptMu    sync.Mutex
+	ckptFloor uint64
+	recovery  *obs.Span
 
 	mempool   []*types.Transaction
 	keys      map[string]ed25519.PrivateKey
@@ -462,10 +467,26 @@ func (e *Engine) FlushAt(ts int64) error {
 // CommitBlock packages the ordered transactions into the next block,
 // appends it durably and updates every index. It assigns Tids in order
 // and is the single entry point consensus uses to apply a decided batch.
+// When the commit lands on a checkpoint-interval boundary the state is
+// snapshotted under the lock, but the checkpoint's encode and
+// fsync+rename happen after it is released, so concurrent reads never
+// stall behind checkpoint I/O.
 func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	b, err := e.commitBlockLocked(txs, ts)
+	var ck *snapshot.Checkpoint
+	if err == nil {
+		ck = e.maybeBuildCheckpointLocked()
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	e.finishCheckpoint(ck)
+	return b, nil
+}
 
+func (e *Engine) commitBlockLocked(txs []*types.Transaction, ts int64) (*types.Block, error) {
 	// Monotonic block timestamps keep the block-level index's time
 	// lookups well-defined.
 	if ts <= e.lastTs {
@@ -486,23 +507,32 @@ func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, 
 	if err := e.indexBlockLocked(b); err != nil {
 		return nil, err
 	}
-	e.maybeCheckpointLocked()
 	return b, nil
 }
 
 // ApplyBlock validates and appends a block produced elsewhere (received
-// via consensus/gossip), then indexes it.
+// via consensus/gossip), then indexes it. Like CommitBlock, any due
+// checkpoint is built under the lock and persisted outside it.
 func (e *Engine) ApplyBlock(b *types.Block) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	err := e.applyBlockLocked(b)
+	var ck *snapshot.Checkpoint
+	if err == nil {
+		ck = e.maybeBuildCheckpointLocked()
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.finishCheckpoint(ck)
+	return nil
+}
+
+func (e *Engine) applyBlockLocked(b *types.Block) error {
 	if _, err := e.store.Append(b); err != nil {
 		return err
 	}
-	if err := e.indexBlockLocked(b); err != nil {
-		return err
-	}
-	e.maybeCheckpointLocked()
-	return nil
+	return e.indexBlockLocked(b)
 }
 
 // indexBlock locks and indexes (used during replay).

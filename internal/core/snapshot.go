@@ -19,42 +19,85 @@ import (
 // back to full replay.
 
 // WriteCheckpoint freezes the engine's derived state at the current
-// height and atomically persists it to <dir>/snapshots. It is called
-// automatically every Config.CheckpointInterval blocks; operators and
-// tests may also call it directly.
+// height and atomically persists it to <dir>/snapshots. Only the state
+// snapshot happens under the engine lock; encoding and the fsync+rename
+// run outside it, so queries and commits proceed while the checkpoint
+// hits disk. It is called automatically every Config.CheckpointInterval
+// blocks; operators and tests may also call it directly.
 func (e *Engine) WriteCheckpoint() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.writeCheckpointLocked()
-}
-
-func (e *Engine) writeCheckpointLocked() error {
-	c, err := e.buildCheckpointLocked()
+	c, err := e.BuildCheckpoint()
 	if err != nil {
 		return err
 	}
-	return e.snapDir.Write(c)
+	return e.persistCheckpoint(c)
 }
 
-// maybeCheckpointLocked writes a checkpoint when the chain height hits
-// the configured interval. Checkpointing is an optimisation, so write
+// BuildCheckpoint freezes the engine's derived state at the current
+// height without persisting it. Fast-sync uses it to derive the
+// reference state a peer's checkpoint is validated against.
+func (e *Engine) BuildCheckpoint() (*snapshot.Checkpoint, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.buildCheckpointLocked()
+}
+
+// maybeBuildCheckpointLocked assembles a checkpoint when the chain
+// height hits the configured interval, for the caller to persist after
+// releasing e.mu (the build deep-copies, so the encode and fsync touch
+// nothing the lock guards). Checkpointing is an optimisation, so
 // failures never fail the commit; they are counted and kept for
 // CheckpointErr.
-func (e *Engine) maybeCheckpointLocked() {
+func (e *Engine) maybeBuildCheckpointLocked() *snapshot.Checkpoint {
 	iv := e.cfg.CheckpointInterval
 	if iv <= 0 {
-		return
+		return nil
 	}
 	h := uint64(e.store.Count())
 	if h == 0 || h%uint64(iv) != 0 {
-		return
+		return nil
 	}
-	if err := e.writeCheckpointLocked(); err != nil {
+	c, err := e.buildCheckpointLocked()
+	if err != nil {
 		e.ckptErr = err
 		e.cfg.Obs.Counter("sebdb_snapshot_write_errors_total").Inc()
+		return nil
+	}
+	return c
+}
+
+// finishCheckpoint persists a checkpoint built during a commit and
+// records the outcome for CheckpointErr. Callers must not hold e.mu.
+func (e *Engine) finishCheckpoint(c *snapshot.Checkpoint) {
+	if c == nil {
 		return
 	}
-	e.ckptErr = nil
+	err := e.persistCheckpoint(c)
+	if err != nil {
+		e.cfg.Obs.Counter("sebdb_snapshot_write_errors_total").Inc()
+	}
+	e.mu.Lock()
+	e.ckptErr = err
+	e.mu.Unlock()
+}
+
+// persistCheckpoint serialises checkpoint writes and keeps the manifest
+// monotonic: when two commits race past their interval boundaries, the
+// slower (older) checkpoint is dropped rather than repointing the
+// manifest backwards.
+func (e *Engine) persistCheckpoint(c *snapshot.Checkpoint) error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	// Strictly older checkpoints are dropped; an equal-height write (an
+	// explicit WriteCheckpoint after index creation, say) goes through —
+	// it renames over the same file and cannot regress the manifest.
+	if c.Height < e.ckptFloor {
+		return nil
+	}
+	if err := e.snapDir.Write(c); err != nil {
+		return err
+	}
+	e.ckptFloor = c.Height
+	return nil
 }
 
 // CheckpointErr returns the error of the most recent automatic

@@ -4,21 +4,34 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"sebdb/internal/core"
 	"sebdb/internal/network"
 	"sebdb/internal/obs"
 	"sebdb/internal/snapshot"
-	"sebdb/internal/storage"
 	"sebdb/internal/types"
 )
 
-// Snapshot fast-sync: a fresh node fetches a peer's checkpoint instead
-// of re-deriving every index by replaying the whole chain. The block
-// bodies still stream over the existing block protocol — the chain
-// remains the only truth — but the expensive part of bootstrap, the
-// derived-state rebuild, is skipped entirely. The checkpoint's anchor
-// is verified against the linkage- and signature-checked header chain
-// before anything is installed, so a lying peer can slow a node down
-// but never poison it.
+// Snapshot fast-sync: a fresh node bootstraps from a peer in one
+// streaming pass instead of the block-by-block catch-up of gossip. The
+// trust model is strict — the peer supplies nothing the node installs
+// unverified:
+//
+//   - The header chain is linkage- and signature-checked first; every
+//     streamed block body must Merkle-commit to its agreed header
+//     (storage.Append re-validates the TransRoot), so bodies are
+//     tamper-evident.
+//   - All derived state — catalog, contracts, table bitmaps, layered
+//     indexes, ALIs, high-water marks — is rebuilt locally from those
+//     verified bodies while they stream, and the checkpoint installed
+//     at the end is the locally derived one.
+//   - The peer's own checkpoint is downloaded as an integrity
+//     cross-check and an index-definition hint: its chain-derived facts
+//     must agree with the local rebuild (snapshot.Diverges), and its
+//     user index definitions (names only, never contents) tell the
+//     fresh node which indexes to build from its own chain.
+//
+// A lying peer can therefore waste a node's time but never poison its
+// state: the worst a fabricated checkpoint achieves is a rejected sync.
 
 // snapChunkSize keeps each chunk frame well under network.MaxFrame.
 const snapChunkSize = 1 << 20
@@ -77,31 +90,46 @@ func decodeSnapshotOffer(buf []byte) (*SnapshotOffer, error) {
 	return o, nil
 }
 
-// offerFromManifest derives the wire offer for a manifest+payload pair.
-func offerFromManifest(m *snapshot.Manifest, payload []byte) (*SnapshotOffer, error) {
-	if uint64(len(payload)) > maxSnapshotBytes {
-		return nil, fmt.Errorf("node: checkpoint of %d bytes exceeds the serveable bound", len(payload))
+// checkOffer rejects offers whose self-declared geometry is degenerate
+// or implausible before any allocation or transfer happens — Size,
+// ChunkSize and Chunks are all attacker-controlled.
+func checkOffer(o *SnapshotOffer) error {
+	if o.Height == 0 || o.ChunkSize == 0 || o.Chunks == 0 {
+		return fmt.Errorf("node: degenerate snapshot offer")
 	}
-	size := uint64(len(payload))
+	if uint64(o.Chunks)*uint64(o.ChunkSize) > maxSnapshotBytes {
+		return fmt.Errorf("node: snapshot offer of %d chunks is implausible", o.Chunks)
+	}
+	if o.Size > maxSnapshotBytes || o.Size > uint64(o.Chunks)*uint64(o.ChunkSize) {
+		return fmt.Errorf("node: snapshot offer of %d bytes is implausible", o.Size)
+	}
+	return nil
+}
+
+// offerFromManifest derives the wire offer for the manifest's payload.
+func offerFromManifest(m *snapshot.Manifest) (*SnapshotOffer, error) {
+	if m.Size > maxSnapshotBytes {
+		return nil, fmt.Errorf("node: checkpoint of %d bytes exceeds the serveable bound", m.Size)
+	}
 	return &SnapshotOffer{
 		Height:    m.Height,
 		Anchor:    m.Anchor,
-		Size:      size,
+		Size:      m.Size,
 		CRC:       m.CRC,
 		ChunkSize: snapChunkSize,
-		Chunks:    uint32((size + snapChunkSize - 1) / snapChunkSize),
+		Chunks:    uint32((m.Size + snapChunkSize - 1) / snapChunkSize),
 	}, nil
 }
 
 func (n *FullNode) handleSnapOffer([]byte) ([]byte, error) {
-	m, payload, err := n.Engine.SnapshotDir().Raw()
+	m, err := n.Engine.SnapshotDir().Manifest()
 	if err != nil {
 		return nil, err
 	}
 	if m == nil {
 		return nil, fmt.Errorf("node: no checkpoint available")
 	}
-	o, err := offerFromManifest(m, payload)
+	o, err := offerFromManifest(m)
 	if err != nil {
 		return nil, err
 	}
@@ -113,12 +141,9 @@ func (n *FullNode) handleSnapChunk(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, raw, err := n.Engine.SnapshotDir().Raw()
+	raw, err := n.snapshotPayload()
 	if err != nil {
 		return nil, err
-	}
-	if m == nil {
-		return nil, fmt.Errorf("node: no checkpoint available")
 	}
 	lo := uint64(idx) * snapChunkSize
 	if lo >= uint64(len(raw)) {
@@ -132,6 +157,35 @@ func (n *FullNode) handleSnapChunk(payload []byte) ([]byte, error) {
 	e.Uint32(idx)
 	e.Blob(raw[lo:hi])
 	return e.Bytes(), nil
+}
+
+// snapshotPayload returns the current checkpoint payload, memoised per
+// checkpoint generation: each request re-reads only the small manifest
+// and the full payload is read (and CRC-verified) from disk once, not
+// once per chunk.
+func (n *FullNode) snapshotPayload() ([]byte, error) {
+	dir := n.Engine.SnapshotDir()
+	m, err := dir.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("node: no checkpoint available")
+	}
+	n.snap.mu.Lock()
+	defer n.snap.mu.Unlock()
+	if n.snap.payload != nil && n.snap.man == *m {
+		return n.snap.payload, nil
+	}
+	mm, payload, err := dir.Raw()
+	if err != nil {
+		return nil, err
+	}
+	if mm == nil {
+		return nil, fmt.Errorf("node: no checkpoint available")
+	}
+	n.snap.man, n.snap.payload = *mm, payload
+	return payload, nil
 }
 
 // SnapshotOffer asks the peer what checkpoint it can serve.
@@ -164,14 +218,11 @@ func (r *Remote) SnapshotChunk(idx uint32) ([]byte, error) {
 
 // SnapshotOffer serves the offer without a network hop.
 func (l *Local) SnapshotOffer() (*SnapshotOffer, error) {
-	m, payload, err := l.Node.Engine.SnapshotDir().Raw()
+	resp, err := l.Node.handleSnapOffer(nil)
 	if err != nil {
 		return nil, err
 	}
-	if m == nil {
-		return nil, fmt.Errorf("node: no checkpoint available")
-	}
-	return offerFromManifest(m, payload)
+	return decodeSnapshotOffer(resp)
 }
 
 // SnapshotChunk serves one chunk without a network hop.
@@ -199,15 +250,20 @@ type FastSyncResult struct {
 	ChunkBytes uint64
 }
 
-// FastSync bootstraps an empty data directory from a peer: it fetches
+// FastSync bootstraps an empty data directory from a peer. It fetches
 // the peer's checkpoint offer, independently verifies the offered
 // anchor against the peer's linkage- and signature-checked header
-// chain, streams the block bodies for [0, Height) into local storage
-// (verifying each against the agreed headers), downloads and CRC-checks
-// the checkpoint chunks, and installs the checkpoint. A subsequent
-// core.Open then seeds all derived state from the checkpoint and
-// replays nothing; blocks past the checkpoint arrive through normal
-// gossip. reg selects the metrics registry (nil = obs.Default).
+// chain, then streams the block bodies for [0, Height) through a local
+// engine — each body is checked against its agreed header (hash and
+// Merkle root) and indexed as it lands, so every piece of derived state
+// is rebuilt from verified data. The peer's checkpoint payload is then
+// downloaded, CRC-checked and cross-validated against the local rebuild
+// (its user index definitions are adopted and backfilled from the local
+// chain); the checkpoint finally installed is the locally derived one,
+// never the peer's bytes. A subsequent core.Open seeds all derived
+// state from that checkpoint and replays nothing; blocks past the
+// checkpoint arrive through normal gossip. reg selects the metrics
+// registry (nil = obs.Default).
 func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResult, error) {
 	if reg == nil {
 		reg = obs.Default
@@ -216,11 +272,8 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 	if err != nil {
 		return nil, err
 	}
-	if offer.Height == 0 || offer.ChunkSize == 0 || offer.Chunks == 0 {
-		return nil, fmt.Errorf("node: degenerate snapshot offer")
-	}
-	if uint64(offer.Chunks)*uint64(offer.ChunkSize) > maxSnapshotBytes {
-		return nil, fmt.Errorf("node: snapshot offer of %d chunks is implausible", offer.Chunks)
+	if err := checkOffer(offer); err != nil {
+		return nil, err
 	}
 
 	// The header chain is the consensus-agreed spine: verify linkage and
@@ -247,39 +300,51 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 		return nil, fmt.Errorf("node: offered anchor disagrees with the header chain at height %d", offer.Height-1)
 	}
 
-	// Stream the block bodies backing the checkpoint into local storage.
-	// Appending the same blocks reproduces the same segment layout, so
-	// the checkpoint's embedded storage metadata verifies on Open.
-	st, err := storage.Open(dataDir, storage.Options{})
+	eng, err := core.Open(core.Config{Dir: dataDir, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
-	if st.Count() != 0 {
-		cerr := st.Close()
-		return nil, fmt.Errorf("node: fast-sync needs an empty data directory (found %d blocks; close err %v)", st.Count(), cerr)
+	res, err := fastSyncInto(eng, offer, headers, peer, reg)
+	cerr := eng.Close()
+	if err != nil {
+		return nil, err
 	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return res, nil
+}
+
+// fastSyncInto streams and verifies the chain into eng, rebuilds the
+// derived state, cross-checks the peer's checkpoint and persists the
+// local one. It never closes eng.
+func fastSyncInto(eng *core.Engine, offer *SnapshotOffer, headers []types.BlockHeader, peer QueryNode, reg *obs.Registry) (*FastSyncResult, error) {
+	if eng.Height() != 0 {
+		return nil, fmt.Errorf("node: fast-sync needs an empty data directory (found %d blocks)", eng.Height())
+	}
+
+	// Stream the block bodies through the engine: ApplyBlock's append
+	// re-validates each body against its header's Merkle root, and the
+	// header must be the consensus-agreed one for that height, so the
+	// catalog, bitmaps and indexes built here derive from verified data
+	// only.
 	mBlocks := reg.Counter("sebdb_fastsync_blocks_total")
 	for h := uint64(0); h < offer.Height; h++ {
 		b, err := peer.BlockAt(h)
 		if err != nil {
-			cerr := st.Close()
-			return nil, fmt.Errorf("node: fast-sync block %d: %w (close err %v)", h, err, cerr)
+			return nil, fmt.Errorf("node: fast-sync block %d: %w", h, err)
 		}
 		if b.Header.Hash() != headers[h].Hash() {
-			cerr := st.Close()
-			return nil, fmt.Errorf("node: peer served a block %d off the agreed chain (close err %v)", h, cerr)
+			return nil, fmt.Errorf("node: peer served a block %d off the agreed chain", h)
 		}
-		if _, err := st.Append(b); err != nil {
-			cerr := st.Close()
-			return nil, fmt.Errorf("node: fast-sync append %d: %w (close err %v)", h, err, cerr)
+		if err := eng.ApplyBlock(b); err != nil {
+			return nil, fmt.Errorf("node: fast-sync append %d: %w", h, err)
 		}
 		mBlocks.Inc()
 	}
-	if err := st.Close(); err != nil {
-		return nil, err
-	}
 
-	// Download and reassemble the checkpoint payload.
+	// Download and reassemble the peer's checkpoint payload. The offer
+	// geometry was validated up front, so Size bounds the allocation.
 	mChunks := reg.Counter("sebdb_fastsync_chunks_total")
 	mBytes := reg.Counter("sebdb_fastsync_chunk_bytes_total")
 	hLat := reg.Histogram("sebdb_fastsync_chunk_micros")
@@ -293,6 +358,10 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 		hLat.Observe(reg.Now() - t0)
 		mChunks.Inc()
 		mBytes.Add(uint64(len(chunk)))
+		if uint64(len(chunk)) > uint64(offer.ChunkSize) ||
+			uint64(len(payload))+uint64(len(chunk)) > offer.Size {
+			return nil, fmt.Errorf("node: chunk %d overflows the offered checkpoint size", i)
+		}
 		payload = append(payload, chunk...)
 	}
 	if uint64(len(payload)) != offer.Size {
@@ -301,19 +370,63 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 	if crc32.ChecksumIEEE(payload) != offer.CRC {
 		return nil, fmt.Errorf("node: checkpoint transfer fails CRC")
 	}
-
-	// Install decodes (rejecting any structural tampering) and persists
-	// atomically; its own anchor check re-verifies against the payload.
-	ck, err := snapshot.NewDir(nil, dataDir).Install(payload)
+	ck, err := snapshot.Decode(payload)
 	if err != nil {
 		return nil, err
 	}
 	if ck.Height != offer.Height || ck.Anchor != offer.Anchor {
-		return nil, fmt.Errorf("node: installed checkpoint disagrees with its offer")
+		return nil, fmt.Errorf("node: peer checkpoint disagrees with its offer")
+	}
+
+	// Adopt the peer's user index *definitions* (never their contents):
+	// each one is created locally and backfilled from the verified
+	// chain, exactly as if the operator had issued it.
+	for i := range ck.Indexes {
+		key := ck.Indexes[i].Key
+		if key == ".senid" || key == ".tname" {
+			continue
+		}
+		table, col := splitIndexKey(key)
+		if err := eng.CreateIndex(table, col); err != nil {
+			return nil, fmt.Errorf("node: peer index %q: %w", key, err)
+		}
+	}
+	for i := range ck.ALIs {
+		table, col := splitIndexKey(ck.ALIs[i].Key)
+		if err := eng.CreateAuthIndex(table, col); err != nil {
+			return nil, fmt.Errorf("node: peer auth index %q: %w", ck.ALIs[i].Key, err)
+		}
+	}
+
+	// Cross-validate: every chain-derived fact in the peer's checkpoint
+	// must match the state just rebuilt from verified blocks. What gets
+	// installed is the local derivation either way; a divergence only
+	// proves the peer lied and aborts the sync.
+	local, err := eng.BuildCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if err := snapshot.Diverges(ck, local); err != nil {
+		reg.Counter("sebdb_fastsync_divergent_checkpoints_total").Inc()
+		return nil, fmt.Errorf("node: peer checkpoint rejected: %w", err)
+	}
+	if err := eng.SnapshotDir().Write(local); err != nil {
+		return nil, err
 	}
 	return &FastSyncResult{
-		CheckpointHeight: ck.Height,
+		CheckpointHeight: local.Height,
 		Blocks:           offer.Height,
 		ChunkBytes:       uint64(len(payload)),
 	}, nil
+}
+
+// splitIndexKey splits an index registry key ("table.col", or ".col"
+// for system columns) into its parts.
+func splitIndexKey(key string) (table, col string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
 }

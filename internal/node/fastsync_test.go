@@ -1,6 +1,10 @@
 package node_test
 
 import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +12,7 @@ import (
 	"sebdb/internal/core"
 	"sebdb/internal/node"
 	"sebdb/internal/obs"
+	"sebdb/internal/snapshot"
 	"sebdb/internal/types"
 )
 
@@ -131,6 +136,173 @@ func (p *tamperedPeer) SnapshotOffer() (*node.SnapshotOffer, error) {
 	}
 	o.Anchor[0] ^= 1
 	return o, nil
+}
+
+// poisoningPeer relays a real node but rewrites the checkpoint payload
+// (with a self-consistent offer: matching Size and CRC) so the derived
+// state it serves no longer agrees with the chain.
+type poisoningPeer struct {
+	node.QueryNode
+	payload []byte
+}
+
+func (p *poisoningPeer) SnapshotOffer() (*node.SnapshotOffer, error) {
+	o, err := p.QueryNode.SnapshotOffer()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 0, o.Size)
+	for i := uint32(0); i < o.Chunks; i++ {
+		chunk, err := p.QueryNode.SnapshotChunk(i)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, chunk...)
+	}
+	ck, err := snapshot.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	// Poison chain-derived facts a query would trust: a phantom table
+	// bitmap entry and a bumped transaction high-water mark.
+	ck.TableIdx["donate"] = append(ck.TableIdx["donate"], 0)
+	ck.LastTid += 7
+	p.payload = ck.Encode()
+	o.Size = uint64(len(p.payload))
+	o.CRC = crc32.ChecksumIEEE(p.payload)
+	o.Chunks = uint32((o.Size + uint64(o.ChunkSize) - 1) / uint64(o.ChunkSize))
+	return o, nil
+}
+
+func (p *poisoningPeer) SnapshotChunk(idx uint32) ([]byte, error) {
+	start := int(idx) << 20
+	if start >= len(p.payload) {
+		return nil, fmt.Errorf("chunk %d out of range", idx)
+	}
+	end := start + (1 << 20)
+	if end > len(p.payload) {
+		end = len(p.payload)
+	}
+	return p.payload[start:end], nil
+}
+
+// TestFastSyncRejectsPoisonedCheckpoint serves a checkpoint whose
+// derived state was fabricated (but whose offer is self-consistent and
+// anchored to the genuine chain). The sync must rebuild state locally,
+// detect the divergence and reject the peer.
+func TestFastSyncRejectsPoisonedCheckpoint(t *testing.T) {
+	source := checkpointedNode(t, 5, 4)
+	local := &node.Local{Node: source, Name: "src"}
+	bad := &poisoningPeer{QueryNode: local}
+	reg := obs.NewRegistry(clock.UnixMicro)
+	_, err := node.FastSync(t.TempDir(), bad, reg)
+	if err == nil {
+		t.Fatal("poisoned checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := reg.Counter("sebdb_fastsync_divergent_checkpoints_total").Value(); got != 1 {
+		t.Fatalf("divergence counter = %d, want 1", got)
+	}
+}
+
+// hugeOfferPeer claims an absurd payload size; FastSync must reject the
+// offer before fetching a single chunk (or allocating for it).
+type hugeOfferPeer struct {
+	node.QueryNode
+	chunkCalls int
+}
+
+func (p *hugeOfferPeer) SnapshotOffer() (*node.SnapshotOffer, error) {
+	o, err := p.QueryNode.SnapshotOffer()
+	if err != nil {
+		return nil, err
+	}
+	o.Size = 1 << 62
+	return o, nil
+}
+
+func (p *hugeOfferPeer) SnapshotChunk(idx uint32) ([]byte, error) {
+	p.chunkCalls++
+	return p.QueryNode.SnapshotChunk(idx)
+}
+
+func TestFastSyncRejectsImplausibleOfferSize(t *testing.T) {
+	source := checkpointedNode(t, 3, 2)
+	local := &node.Local{Node: source, Name: "src"}
+	bad := &hugeOfferPeer{QueryNode: local}
+	if _, err := node.FastSync(t.TempDir(), bad, nil); err == nil {
+		t.Fatal("implausible offer size accepted")
+	}
+	if bad.chunkCalls != 0 {
+		t.Fatalf("%d chunks fetched for an implausible offer", bad.chunkCalls)
+	}
+}
+
+// TestSnapChunkCacheFollowsCheckpoint serves chunks across a checkpoint
+// rotation: the cached payload must be invalidated when a newer
+// checkpoint repoints the manifest.
+func TestSnapChunkCacheFollowsCheckpoint(t *testing.T) {
+	source := checkpointedNode(t, 4, 3)
+	local := &node.Local{Node: source, Name: "src"}
+
+	o1, err := local.SnapshotOffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated chunk reads come from the cache and stay consistent.
+	c1, err := local.SnapshotChunk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1again, err := local.SnapshotChunk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c1again) {
+		t.Fatal("cached chunk differs from first read")
+	}
+
+	// Grow the chain and rotate the checkpoint: the offer and the chunk
+	// content must both follow the new manifest.
+	tx, err := source.Engine.NewTransaction("org0", "donate", []types.Value{
+		types.Str("donorX"), types.Str("health"), types.Dec(41),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := source.Engine.CommitBlock([]*types.Transaction{tx}, 77_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := source.Engine.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := local.SnapshotOffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Height != o1.Height+1 {
+		t.Fatalf("offer height = %d after rotation, want %d", o2.Height, o1.Height+1)
+	}
+	raw := make([]byte, 0, o2.Size)
+	for i := uint32(0); i < o2.Chunks; i++ {
+		chunk, err := local.SnapshotChunk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, chunk...)
+	}
+	if uint64(len(raw)) != o2.Size || crc32.ChecksumIEEE(raw) != o2.CRC {
+		t.Fatal("post-rotation chunks do not reassemble the new checkpoint")
+	}
+	ck, err := snapshot.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Height != o2.Height {
+		t.Fatalf("served checkpoint height = %d, want %d", ck.Height, o2.Height)
+	}
 }
 
 func TestFastSyncWithoutCheckpointErrors(t *testing.T) {

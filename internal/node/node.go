@@ -7,12 +7,14 @@ package node
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"sebdb/internal/auth"
 	"sebdb/internal/core"
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/network"
+	"sebdb/internal/snapshot"
 	"sebdb/internal/types"
 )
 
@@ -22,6 +24,19 @@ type FullNode struct {
 	Gossip   *network.Gossiper
 	server   *network.Server
 	listener net.Listener
+
+	// snap memoises the checkpoint payload served to fast-syncing peers
+	// so a full transfer reads the file once per checkpoint generation,
+	// not once per chunk (see snapshotPayload).
+	snap snapCache
+}
+
+// snapCache holds the last checkpoint payload served, keyed by its
+// manifest: a newer checkpoint changes the manifest and invalidates it.
+type snapCache struct {
+	mu      sync.Mutex
+	man     snapshot.Manifest
+	payload []byte
 }
 
 // New wraps an engine as a full node.

@@ -224,23 +224,35 @@ func (d *Dir) Load() (*Checkpoint, error) {
 	return c, nil
 }
 
+// Manifest returns the decoded manifest alone, without touching the
+// (much larger) checkpoint file — cheap enough to call per request when
+// validating a cached payload. A missing or corrupt manifest returns
+// (nil, nil).
+func (d *Dir) Manifest() (*Manifest, error) {
+	buf, err := d.fs.ReadFile(filepath.Join(d.path, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			mLoadMiss.Inc()
+			return nil, nil
+		}
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	m, err := decodeManifest(buf)
+	if err != nil {
+		mLoadCorrupt.Inc()
+		return nil, nil //nolint — corrupt manifest degrades to full replay by design
+	}
+	return m, nil
+}
+
 // Raw returns the manifest and the raw (CRC-stripped) checkpoint
 // payload it pins, verifying the file CRC but not decoding — the form
 // fast-sync serves to peers. A missing or corrupt checkpoint returns
 // (nil, nil, nil).
 func (d *Dir) Raw() (*Manifest, []byte, error) {
-	buf, err := d.fs.ReadFile(filepath.Join(d.path, manifestName))
-	if err != nil {
-		if os.IsNotExist(err) {
-			mLoadMiss.Inc()
-			return nil, nil, nil
-		}
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
-	}
-	m, err := decodeManifest(buf)
-	if err != nil {
-		mLoadCorrupt.Inc()
-		return nil, nil, nil //nolint — corrupt manifest degrades to full replay by design
+	m, err := d.Manifest()
+	if err != nil || m == nil {
+		return nil, nil, err
 	}
 	blob, err := d.fs.ReadFile(filepath.Join(d.path, m.File))
 	if err != nil {
@@ -257,19 +269,4 @@ func (d *Dir) Raw() (*Manifest, []byte, error) {
 		return nil, nil, nil
 	}
 	return m, payload, nil
-}
-
-// Install verifies a checkpoint payload received from a peer and
-// persists it as this directory's current checkpoint, returning the
-// decoded form. Unlike Load, corruption here is an error — the caller
-// chose this payload and must know it was rejected.
-func (d *Dir) Install(payload []byte) (*Checkpoint, error) {
-	c, err := Decode(payload)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.Write(c); err != nil {
-		return nil, err
-	}
-	return c, nil
 }

@@ -145,16 +145,7 @@ func (c *Checkpoint) Encode() []byte {
 
 	e.Count(len(c.Indexes))
 	for i := range c.Indexes {
-		x := &c.Indexes[i]
-		encodeIndexHead(e, x.Key, x.Attr, x.Continuous, x.Bounds)
-		e.Count(len(x.Blocks))
-		for _, es := range x.Blocks {
-			e.Count(len(es))
-			for _, en := range es {
-				e.Value(en.Key)
-				e.Uint32(en.Pos)
-			}
-		}
+		encodeIndexState(e, &c.Indexes[i])
 	}
 
 	e.Count(len(c.ALIs))
@@ -171,6 +162,20 @@ func (c *Checkpoint) Encode() []byte {
 		}
 	}
 	return e.Bytes()
+}
+
+// encodeIndexState renders one layered-index state (head plus per-block
+// entries); Diverges also uses it to compare system indexes byte-wise.
+func encodeIndexState(e *types.Encoder, x *IndexState) {
+	encodeIndexHead(e, x.Key, x.Attr, x.Continuous, x.Bounds)
+	e.Count(len(x.Blocks))
+	for _, es := range x.Blocks {
+		e.Count(len(es))
+		for _, en := range es {
+			e.Value(en.Key)
+			e.Uint32(en.Pos)
+		}
+	}
 }
 
 func encodeIndexHead(e *types.Encoder, key, attr string, cont bool, bounds []float64) {

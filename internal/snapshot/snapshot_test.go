@@ -81,6 +81,13 @@ func mkCheckpoint(t *testing.T, s *storage.Store) *Checkpoint {
 				nil,
 			},
 		}, {
+			Key: ".tname", Attr: "tname",
+			Blocks: [][]layered.Entry{
+				{{Key: types.Str("donate"), Pos: 0}},
+				{{Key: types.Str("donate"), Pos: 0}},
+				nil,
+			},
+		}, {
 			Key: "donate.money", Attr: "money", Continuous: true,
 			Bounds: []float64{10, 20},
 			Blocks: [][]layered.Entry{
@@ -310,14 +317,13 @@ func TestDirWriteCrashMatrix(t *testing.T) {
 	}
 }
 
-func TestInstallRejectsGarbage(t *testing.T) {
-	d := NewDir(nil, t.TempDir())
-	if _, err := d.Install([]byte("not a checkpoint")); err == nil {
-		t.Fatal("Install must reject garbage")
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a checkpoint")); err == nil {
+		t.Fatal("Decode must accept only checkpoint payloads")
 	}
 }
 
-func TestInstallRoundTrip(t *testing.T) {
+func TestRawPayloadRoundTrip(t *testing.T) {
 	srcDir := t.TempDir()
 	s := buildChain(t, srcDir, 3)
 	defer s.Close()
@@ -331,16 +337,92 @@ func TestInstallRoundTrip(t *testing.T) {
 		t.Fatalf("Raw = %v, %v", m, err)
 	}
 
-	dst := NewDir(nil, t.TempDir())
-	got, err := dst.Install(payload)
+	got, err := Decode(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Height != ck.Height || got.Anchor != ck.Anchor {
-		t.Fatalf("installed pin mismatch: %+v", got)
+		t.Fatalf("decoded pin mismatch: %+v", got)
+	}
+	if err := Diverges(got, ck); err != nil {
+		t.Fatalf("decoded payload diverges from its source: %v", err)
+	}
+	dst := NewDir(nil, t.TempDir())
+	if err := dst.Write(got); err != nil {
+		t.Fatal(err)
 	}
 	re, err := dst.Load()
 	if err != nil || re == nil || re.Height != ck.Height {
-		t.Fatalf("reload after install = %v, %v", re, err)
+		t.Fatalf("reload after write = %v, %v", re, err)
+	}
+}
+
+// TestDivergesFlagsChainFacts tampers each chain-derived fact of a
+// decoded checkpoint and expects Diverges to flag it against the
+// untampered reference, while node-local differences (user index
+// state) pass.
+func TestDivergesFlagsChainFacts(t *testing.T) {
+	s := buildChain(t, t.TempDir(), 3)
+	defer s.Close()
+	ref := mkCheckpoint(t, s)
+
+	fresh := func() *Checkpoint {
+		c, err := Decode(ref.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := Diverges(fresh(), ref); err != nil {
+		t.Fatalf("identical checkpoints diverge: %v", err)
+	}
+
+	// A peer with different node-local configuration is not divergent.
+	local := fresh()
+	local.Indexes = local.Indexes[:2] // drop the user index, keep system ones
+	local.ALIs = nil
+	if err := Diverges(local, ref); err != nil {
+		t.Fatalf("node-local index differences flagged: %v", err)
+	}
+
+	for name, tamper := range map[string]func(*Checkpoint){
+		"lastTid":     func(c *Checkpoint) { c.LastTid++ },
+		"lastTs":      func(c *Checkpoint) { c.LastTs++ },
+		"bodyLen":     func(c *Checkpoint) { c.Store.Lens[0]++ },
+		"txOffs":      func(c *Checkpoint) { c.Store.TxOffs[0] = append(c.Store.TxOffs[0], 7) },
+		"table":       func(c *Checkpoint) { c.Tables = nil },
+		"contract":    func(c *Checkpoint) { c.Contracts = nil },
+		"tableIdx":    func(c *Checkpoint) { c.TableIdx["phantom"] = []uint32{0} },
+		"tableIdxIds": func(c *Checkpoint) { c.TableIdx["donate"][0] = 2 },
+		"sysIndex": func(c *Checkpoint) {
+			c.Indexes[0].Blocks[0][0].Pos++
+		},
+	} {
+		c := fresh()
+		tamper(c)
+		if err := Diverges(c, ref); err == nil {
+			t.Errorf("%s tamper not flagged", name)
+		}
+	}
+}
+
+func TestManifestAlone(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDir(nil, dir)
+	if m, err := d.Manifest(); err != nil || m != nil {
+		t.Fatalf("Manifest on empty dir = %v, %v", m, err)
+	}
+	s := buildChain(t, dir, 2)
+	defer s.Close()
+	ck := mkCheckpoint(t, s)
+	if err := d.Write(ck); err != nil {
+		t.Fatal(err)
+	}
+	m, err := d.Manifest()
+	if err != nil || m == nil {
+		t.Fatalf("Manifest = %v, %v", m, err)
+	}
+	if m.Height != ck.Height || m.Anchor != ck.Anchor {
+		t.Fatalf("manifest pin mismatch: %+v", m)
 	}
 }
