@@ -14,8 +14,11 @@
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;
 //	           reusing a directory reuses its datasets across runs)
-//	-workers W upper bound of figure 23's worker sweep (default
-//	           GOMAXPROCS)
+//	-workers W upper bound of figure 23's worker sweep and the commit
+//	           pipeline / signature-check parallelism of figure 7
+//	           (default GOMAXPROCS); "-fig 7 -workers 1" vs
+//	           "-fig 7 -workers 4" compares the serial and staged
+//	           write paths
 //	-json PATH also write the generated tables as a JSON array of
 //	           {figure, title, x, series, values} objects
 package main
@@ -32,7 +35,7 @@ func main() {
 	fig := flag.String("fig", "", `figure number (7-24) or name ("parallel", "recovery"); empty = all`)
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
-	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 and commit-pipeline workers for figure 7 (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 	if *workers > 0 {

@@ -6,7 +6,7 @@
 //
 //	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
 //	    [-peer host:port]... [-signer node0] [-auth table.col]... \
-//	    [-parallel N] [-checkpoint-interval N] [-fast-sync]
+//	    [-parallel N] [-sync] [-checkpoint-interval N] [-fast-sync]
 //
 // A standalone node packages its own blocks (submit transactions via
 // the SQL interface, e.g. from sebdb-cli); nodes with peers follow the
@@ -48,7 +48,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	signer := flag.String("signer", "node0", "block signer identity")
 	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
-	par := flag.Int("parallel", 0, "read-pipeline workers for scans, replay and backfill (0 = GOMAXPROCS, 1 = sequential)")
+	par := flag.Int("parallel", 0, "worker count for the read pipeline (scans, replay, backfill) and the commit pipeline (tx hashing, index fan-out) (0 = GOMAXPROCS, 1 = sequential)")
+	sync := flag.Bool("sync", false, "fsync block segments on commit; batched commits (consensus, flush) sync once per batch")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	ckptInterval := flag.Int("checkpoint-interval", 0, "write a derived-state checkpoint every N blocks (0 = disabled)")
 	fastSync := flag.Bool("fast-sync", false, "bootstrap an empty data directory from the first reachable peer's checkpoint")
@@ -101,7 +102,7 @@ func main() {
 	}
 
 	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode, Parallelism: *par,
-		CheckpointInterval: *ckptInterval, DisableCheckpointLoad: *noCkptLoad})
+		Sync: *sync, CheckpointInterval: *ckptInterval, DisableCheckpointLoad: *noCkptLoad})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)

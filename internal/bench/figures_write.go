@@ -18,10 +18,14 @@ import (
 // under the Kafka ordering service and the PBFT (Tendermint-style)
 // consensus, 4 servers, varying concurrent clients (paper: 40..400
 // clients, 100 transactions each, block 200 txs / 200 ms for Kafka,
-// 10,000 txs for Tendermint).
+// 10,000 txs for Tendermint). Every engine runs the staged commit
+// pipeline at MaxWorkers, and both protocols verify batch signatures
+// over the same pool, so -workers sweeps the write path's parallelism
+// axis end to end.
 func Fig7(dir string, scale float64) (*Table, error) {
 	t := &Table{
-		Title:  "Fig. 7 — Write performance (Q1), Kafka vs PBFT(Tendermint-style), 4 servers",
+		Title: fmt.Sprintf("Fig. 7 — Write performance (Q1), Kafka vs PBFT(Tendermint-style), 4 servers, %d workers",
+			MaxWorkers),
 		Header: []string{"clients", "kafka tx/s", "kafka resp", "pbft tx/s", "pbft resp"},
 		Note:   "Kafka throughput >> PBFT; PBFT latency flat while underloaded, rising with clients",
 	}
@@ -43,6 +47,7 @@ func Fig7(dir string, scale float64) (*Table, error) {
 						return nil, err
 					}
 				}
+				e.SetParallelism(MaxWorkers)
 				engines[i] = e
 				committers[i] = e
 			}
@@ -56,6 +61,8 @@ func Fig7(dir string, scale float64) (*Table, error) {
 				broker := kafka.New(kafka.Options{
 					BatchSize:    scaled(200, scale, 5),
 					BatchTimeout: 200 * time.Millisecond,
+					RequireSigs:  true,
+					Parallelism:  MaxWorkers,
 				})
 				for _, c := range committers {
 					broker.Subscribe(c)
@@ -65,6 +72,8 @@ func Fig7(dir string, scale float64) (*Table, error) {
 				cl, err := pbft.New(pbft.Options{
 					F: 1, BatchSize: scaled(10_000, scale, 50),
 					BatchTimeout: 200 * time.Millisecond,
+					RequireSigs:  true,
+					Parallelism:  MaxWorkers,
 				}, committers)
 				if err != nil {
 					return nil, err

@@ -15,6 +15,7 @@ import (
 
 	"sebdb/internal/clock"
 	"sebdb/internal/consensus"
+	"sebdb/internal/parallel"
 	"sebdb/internal/types"
 )
 
@@ -26,6 +27,14 @@ type Options struct {
 	// BatchTimeout cuts a non-empty batch after this delay even if it is
 	// not full (default 200 ms).
 	BatchTimeout time.Duration
+	// RequireSigs makes the broker reject transactions without a valid
+	// sender signature at batch-cut time, verified in parallel over
+	// Parallelism workers. Default off — a Kafka-style orderer normally
+	// trusts its publishers and leaves verification to the peers.
+	RequireSigs bool
+	// Parallelism bounds the batch signature-verification fan-out.
+	// Zero means GOMAXPROCS.
+	Parallelism int
 	// Now supplies block timestamps (default clock.UnixMicro). Injected
 	// so replays and tests can pin the timestamps subscribers agree on.
 	Now clock.Source
@@ -37,6 +46,9 @@ func (o *Options) fill() {
 	}
 	if o.BatchTimeout == 0 {
 		o.BatchTimeout = 200 * time.Millisecond
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = parallel.Default()
 	}
 	if o.Now == nil {
 		o.Now = clock.UnixMicro
@@ -63,6 +75,10 @@ type Broker struct {
 
 // ErrStopped is returned by Submit after the broker stops.
 var ErrStopped = errors.New("kafka: broker stopped")
+
+// ErrRejected is returned by Submit when RequireSigs is set and the
+// transaction carries no valid sender signature.
+var ErrRejected = errors.New("kafka: transaction rejected: invalid sender signature")
 
 // New returns a broker with the given options.
 func New(opts Options) *Broker {
@@ -173,6 +189,21 @@ func (b *Broker) cut() {
 		subs := b.subscribers
 		b.mu.Unlock()
 
+		// full is decided before signature filtering: a cut that drained a
+		// partial queue stays the last one even if rejections shrank it.
+		full := len(batch) >= b.opts.BatchSize
+		if b.opts.RequireSigs {
+			start := b.opts.Now()
+			batch = b.checkBatch(batch)
+			mCheckMicros.Observe(b.opts.Now() - start)
+		}
+		if len(batch) == 0 {
+			if !full {
+				return
+			}
+			continue
+		}
+
 		txs := make([]*types.Transaction, len(batch))
 		for i, p := range batch {
 			txs[i] = p.tx
@@ -192,10 +223,32 @@ func (b *Broker) cut() {
 		for _, p := range batch {
 			p.done <- err
 		}
-		if len(batch) < b.opts.BatchSize {
+		if !full {
 			return
 		}
 	}
+}
+
+// checkBatch verifies the batch's sender signatures with the worker
+// pool, replies ErrRejected to the failing submissions, and returns the
+// survivors in their original order.
+func (b *Broker) checkBatch(batch []pending) []pending {
+	ok := make([]bool, len(batch))
+	// Verification cannot fail as a task, so Ordered's error is always
+	// nil; the per-index results land in ok.
+	_ = parallel.Ordered(b.opts.Parallelism, len(batch), //sebdb:ignore-err tasks always return nil; results land in ok
+		func(i int) (bool, error) { return batch[i].tx.VerifySig(), nil },
+		func(i int, v bool) error { ok[i] = v; return nil })
+	kept := make([]pending, 0, len(batch))
+	for i, p := range batch {
+		if ok[i] {
+			kept = append(kept, p)
+			continue
+		}
+		mRejected.Inc()
+		p.done <- ErrRejected
+	}
+	return kept
 }
 
 func (b *Broker) failRemaining() {

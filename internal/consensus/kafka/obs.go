@@ -9,4 +9,8 @@ var (
 	mBatches      = obs.Default.Counter("sebdb_kafka_batches_total")
 	mBatchTxs     = obs.Default.Histogram("sebdb_kafka_batch_txs", obs.BatchSizeBounds...)
 	mCommitMicros = obs.Default.Histogram("sebdb_kafka_commit_micros")
+	// Batch CheckTx (RequireSigs only): wall time of one batch's
+	// parallel signature sweep, and how many submissions it rejected.
+	mCheckMicros = obs.Default.Histogram("sebdb_kafka_checktx_micros")
+	mRejected    = obs.Default.Counter("sebdb_kafka_rejected_txs_total")
 )

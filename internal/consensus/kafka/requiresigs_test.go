@@ -1,0 +1,107 @@
+package kafka
+
+import (
+	"crypto/ed25519"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRequireSigsMixedBatch submits a full batch of interleaved signed
+// and unsigned transactions: the parallel batch check must reject
+// exactly the unsigned ones (each seeing ErrRejected) and deliver the
+// signed ones to every subscriber in submission order.
+func TestRequireSigsMixedBatch(t *testing.T) {
+	key := ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+	c := &memCommitter{}
+	b := New(Options{BatchSize: 8, BatchTimeout: time.Hour, RequireSigs: true, Parallelism: 4})
+	b.Subscribe(c)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	errs := make([]error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := tx(i)
+			if i%2 == 0 {
+				tr.Sign(key)
+			}
+			errs[i] = b.Submit(tr)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if i%2 == 0 && err != nil {
+			t.Errorf("signed tx %d: %v", i, err)
+		}
+		if i%2 == 1 && err != ErrRejected {
+			t.Errorf("unsigned tx %d: err = %v, want ErrRejected", i, err)
+		}
+	}
+	if got := c.total(); got != 4 {
+		t.Fatalf("committed %d txs, want the 4 signed ones", got)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, blk := range c.blocks {
+		for _, tr := range blk {
+			if !tr.VerifySig() {
+				t.Fatal("unsigned transaction reached a subscriber")
+			}
+		}
+	}
+}
+
+// TestRequireSigsAllRejected: a batch that filters down to nothing must
+// not deliver an empty block, and the broker must stay live for the
+// next batch.
+func TestRequireSigsAllRejected(t *testing.T) {
+	c := &memCommitter{}
+	b := New(Options{BatchSize: 4, BatchTimeout: time.Hour, RequireSigs: true})
+	b.Subscribe(c)
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Submit(tx(i)); err != ErrRejected {
+				t.Errorf("unsigned tx %d: err = %v, want ErrRejected", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	delivered := len(c.blocks)
+	c.mu.Unlock()
+	if delivered != 0 {
+		t.Fatalf("empty batch delivered %d blocks", delivered)
+	}
+
+	key := ed25519.NewKeyFromSeed(make([]byte, ed25519.SeedSize))
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := tx(10 + i)
+			tr.Sign(key)
+			if err := b.Submit(tr); err != nil {
+				t.Errorf("signed tx %d after rejected batch: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.total(); got != 4 {
+		t.Fatalf("follow-up batch committed %d txs, want 4", got)
+	}
+}

@@ -10,4 +10,8 @@ var (
 	mBatchTxs     = obs.Default.Histogram("sebdb_pbft_batch_txs", obs.BatchSizeBounds...)
 	mCommitMicros = obs.Default.Histogram("sebdb_pbft_commit_micros")
 	mViewChanges  = obs.Default.Counter("sebdb_pbft_view_changes_total")
+	// Batch CheckTx: wall time of one batch's parallel signature sweep,
+	// and how many submissions it rejected.
+	mCheckMicros = obs.Default.Histogram("sebdb_pbft_checktx_micros")
+	mRejected    = obs.Default.Counter("sebdb_pbft_rejected_txs_total")
 )

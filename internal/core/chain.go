@@ -130,9 +130,10 @@ func (e *Engine) sampleColumn(spec indexSpec, limit int) ([]float64, error) {
 			if err != nil {
 				return nil, err
 			}
+			value := e.extractorFor(spec.key())
 			var vals []float64
 			for _, tx := range b.Txs {
-				v, ok, err := e.valueFor(spec, tx)
+				v, ok, err := value(tx)
 				if err != nil {
 					return nil, err
 				}

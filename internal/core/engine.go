@@ -12,6 +12,8 @@ import (
 	"context"
 	"crypto/ed25519"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +27,7 @@ import (
 	"sebdb/internal/index/blockindex"
 	"sebdb/internal/index/layered"
 	"sebdb/internal/mbtree"
+	"sebdb/internal/merkle"
 	"sebdb/internal/obs"
 	"sebdb/internal/parallel"
 	"sebdb/internal/rdbms"
@@ -64,10 +67,18 @@ type Config struct {
 	HistogramDepth int
 	// MBTreeFanout is the ALI page fanout (default mbtree.DefaultFanout).
 	MBTreeFanout int
-	// Parallelism bounds the worker pool of the read pipeline: parallel
-	// scans, chain replay on Open, and index backfill. Zero means
-	// GOMAXPROCS; 1 makes every read path sequential.
+	// Parallelism bounds the worker pool of both the read pipeline
+	// (parallel scans, chain replay on Open, index backfill) and the
+	// commit pipeline (transaction sealing and Merkle hashing in the
+	// prepare stage, per-index fan-out in the index stage). Zero means
+	// GOMAXPROCS; 1 makes every pipeline sequential.
 	Parallelism int
+	// Sync makes the block store fsync appended segments before a commit
+	// reports success. Batched commits — FlushAt and consensus batches —
+	// are covered by one group fsync per batch rather than one per
+	// block; see storage.Store.SyncBatch. Default off: consensus
+	// replication is the usual durability story.
+	Sync bool
 	// Signer names this node as block packager; Key signs headers.
 	Signer string
 	Key    ed25519.PrivateKey
@@ -146,9 +157,20 @@ type Engine struct {
 	blockIdx *blockindex.Index
 	tableIdx *bitmap.TableIndex // keys: table names and "senid:<id>"
 
-	// par is the read pipeline's worker bound (Config.Parallelism),
-	// atomic so SetParallelism can retune it while queries run.
+	// par is the worker bound of the read and commit pipelines
+	// (Config.Parallelism), atomic so SetParallelism can retune it while
+	// queries and commits run.
 	par atomic.Int32
+
+	// commitMu serialises writers through the staged commit pipeline:
+	// the prepare stage (Tid assignment against the cursor, parallel
+	// transaction sealing and Merkle hashing, header signing, and
+	// foreign-block validation) runs under commitMu alone, so readers —
+	// which take only e.mu — never wait behind hashing. The short
+	// commit+index stages then take e.mu; the group fsync runs after it
+	// is released again. Lock order: commitMu before e.mu, never the
+	// reverse.
+	commitMu sync.Mutex
 
 	mu      sync.RWMutex // guards the index maps and the write path
 	lidx    map[string]*layered.Index
@@ -156,16 +178,18 @@ type Engine struct {
 	lastTid uint64
 	lastTs  int64
 
-	// snapDir is the checkpoint directory; ckptErr the outcome of the
-	// last automatic checkpoint; recovery the finished Open span tree.
+	// snapDir is the checkpoint directory; ckptErr (guarded by e.mu) the
+	// outcome of the last automatic checkpoint; recovery the finished
+	// Open span tree, written once before the engine is shared.
+	snapDir  *snapshot.Dir
+	ckptErr  error
+	recovery *obs.Span
+
 	// ckptMu serialises checkpoint persists (which run outside e.mu so
 	// commits and reads are never stalled behind the fsync) and guards
 	// ckptFloor, the height of the newest persisted checkpoint.
-	snapDir   *snapshot.Dir
-	ckptErr   error
 	ckptMu    sync.Mutex
 	ckptFloor uint64
-	recovery  *obs.Span
 
 	mempool   []*types.Transaction
 	keys      map[string]ed25519.PrivateKey
@@ -174,6 +198,12 @@ type Engine struct {
 
 	blockCache *cache.LRU
 	txCache    *cache.LRU
+
+	// mPrepare, mAppend and mIndex time the commit pipeline's three
+	// stages into sebdb_stage_micros (stages commit.prepare,
+	// commit.append, commit.index), resolved once at construction so the
+	// hot path never takes the registry lock.
+	mPrepare, mAppend, mIndex *obs.Histogram
 }
 
 // Open opens (creating if needed) an engine over cfg.Dir and rebuilds
@@ -194,7 +224,7 @@ func Open(cfg Config) (*Engine, error) {
 
 func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
 	snapDir := snapshot.NewDir(cfg.FS, cfg.Dir)
-	sopts := storage.Options{SegmentSize: cfg.SegmentSize, FS: cfg.FS}
+	sopts := storage.Options{SegmentSize: cfg.SegmentSize, Sync: cfg.Sync, FS: cfg.FS}
 
 	// Phase 1: checkpoint. Load the pinned checkpoint, verify its anchor
 	// against the segment store by fast-opening with the embedded
@@ -303,6 +333,9 @@ func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 		acl:       accessctl.New(),
 		contracts: contract.NewRegistry(),
 		snapDir:   snapDir,
+		mPrepare:  cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.prepare"}`),
+		mAppend:   cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.append"}`),
+		mIndex:    cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.index"}`),
 	}
 	e.par.Store(int32(cfg.Parallelism))
 	switch cfg.CacheMode {
@@ -355,8 +388,8 @@ func (e *Engine) Catalog() *schema.Catalog { return e.catalog }
 // Height returns the chain height (number of blocks).
 func (e *Engine) Height() uint64 { return uint64(e.store.Count()) }
 
-// Parallelism returns the read pipeline's worker bound (>= 1); the
-// engine satisfies exec.ParallelChain with it.
+// Parallelism returns the read and commit pipelines' worker bound
+// (>= 1); the engine satisfies exec.ParallelChain with it.
 func (e *Engine) Parallelism() int {
 	if n := int(e.par.Load()); n > 1 {
 		return n
@@ -451,34 +484,51 @@ func (e *Engine) FlushAt(ts int64) error {
 	if len(pending) == 0 {
 		return nil
 	}
-	for len(pending) > 0 {
+	// All blocks of one flush run through the pipeline back to back with
+	// the per-block fsync deferred; a single group fsync at the end makes
+	// the whole batch durable (see syncCommitted for why a crash in
+	// between cannot corrupt the chain).
+	e.commitMu.Lock()
+	var ck *snapshot.Checkpoint
+	var err error
+	for len(pending) > 0 && err == nil {
 		n := len(pending)
 		if n > e.cfg.BlockMaxTxs {
 			n = e.cfg.BlockMaxTxs
 		}
-		if _, err := e.CommitBlock(pending[:n], ts); err != nil {
-			return err
+		var c *snapshot.Checkpoint
+		_, c, err = e.commitOne(pending[:n], ts, false)
+		if c != nil {
+			ck = c
 		}
 		pending = pending[n:]
 	}
-	return nil
+	if serr := e.syncCommitted(); err == nil {
+		err = serr
+	}
+	e.commitMu.Unlock()
+	e.finishCheckpoint(ck)
+	return err
 }
 
 // CommitBlock packages the ordered transactions into the next block,
 // appends it durably and updates every index. It assigns Tids in order
 // and is the single entry point consensus uses to apply a decided batch.
-// When the commit lands on a checkpoint-interval boundary the state is
-// snapshotted under the lock, but the checkpoint's encode and
-// fsync+rename happen after it is released, so concurrent reads never
-// stall behind checkpoint I/O.
+//
+// The commit is a staged pipeline. The prepare stage — timestamp clamp,
+// Tid assignment, sealing and Merkle-hashing every transaction with the
+// worker pool, header chain and signature — runs under commitMu only,
+// so concurrent readers are never stalled behind hashing. The commit
+// and index stages take e.mu for the segment append and the fanned-out
+// index maintenance. When the commit lands on a checkpoint-interval
+// boundary the state is snapshotted under the lock, but the
+// checkpoint's encode and fsync+rename happen after every lock is
+// released, so neither reads nor the next commit stall behind
+// checkpoint I/O.
 func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error) {
-	e.mu.Lock()
-	b, err := e.commitBlockLocked(txs, ts)
-	var ck *snapshot.Checkpoint
-	if err == nil {
-		ck = e.maybeBuildCheckpointLocked()
-	}
-	e.mu.Unlock()
+	e.commitMu.Lock()
+	b, ck, err := e.commitOne(txs, ts, true)
+	e.commitMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -486,41 +536,92 @@ func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, 
 	return b, nil
 }
 
-func (e *Engine) commitBlockLocked(txs []*types.Transaction, ts int64) (*types.Block, error) {
+// commitOne runs one block through the pipeline. Callers hold commitMu.
+// syncNow makes the block durable before returning; batch callers pass
+// false and issue one group fsync for the whole batch instead.
+func (e *Engine) commitOne(txs []*types.Transaction, ts int64, syncNow bool) (*types.Block, *snapshot.Checkpoint, error) {
+	start := e.cfg.Obs.Now()
+	b := e.prepareBlock(txs, ts)
+	prepared := e.cfg.Obs.Now()
+	e.mPrepare.Observe(prepared - start)
+
+	e.mu.Lock()
+	if _, err := e.store.AppendNoSync(b); err != nil {
+		e.mu.Unlock()
+		return nil, nil, err
+	}
+	appended := e.cfg.Obs.Now()
+	if err := e.indexBlockLocked(b); err != nil {
+		e.mu.Unlock()
+		return nil, nil, err
+	}
+	ck := e.maybeBuildCheckpointLocked()
+	e.mu.Unlock()
+	e.mAppend.Observe(appended - prepared)
+	e.mIndex.Observe(e.cfg.Obs.Now() - appended)
+
+	if syncNow {
+		if err := e.syncCommitted(); err != nil {
+			return nil, ck, err
+		}
+	}
+	return b, ck, nil
+}
+
+// prepareBlock is the pipeline's lock-free stage: it stamps the batch
+// against the commit cursor, seals and leaf-hashes every transaction
+// with the worker pool, reduces the Merkle root in parallel, and builds
+// the signed header. Callers hold commitMu, which makes the cursor read
+// stable — commitMu holders are the only writers of lastTid/lastTs and
+// the tip — while e.mu is held only for the brief cursor read.
+func (e *Engine) prepareBlock(txs []*types.Transaction, ts int64) *types.Block {
+	e.mu.RLock()
+	lastTid, lastTs := e.lastTid, e.lastTs
+	e.mu.RUnlock()
 	// Monotonic block timestamps keep the block-level index's time
 	// lookups well-defined.
-	if ts <= e.lastTs {
-		ts = e.lastTs + 1
+	if ts <= lastTs {
+		ts = lastTs + 1
 	}
 	for i, tx := range txs {
-		tx.Tid = e.lastTid + uint64(i) + 1
+		tx.Tid = lastTid + uint64(i) + 1
 	}
+	workers := e.Parallelism()
+	leaves := types.TxLeavesWorkers(txs, workers)
+	root := merkle.RootWorkers(leaves, workers)
 	var prev *types.BlockHeader
 	if tip, ok := e.store.Tip(); ok {
 		prev = &tip
 	}
-	b := types.NewBlock(prev, txs, ts, e.cfg.Signer)
+	b := types.NewBlockFromRoot(prev, txs, root, ts, e.cfg.Signer)
 	b.Header.Sign(e.cfg.Key)
-	if _, err := e.store.Append(b); err != nil {
-		return nil, err
+	return b
+}
+
+// syncCommitted is the pipeline's group fsync, covering every block
+// appended with AppendNoSync since the last one. It runs outside e.mu
+// (readers proceed; commitMu still serialises writers), which is safe
+// because a crash before the fsync can only lose an unsynced suffix of
+// appended blocks — recovery's torn-tail truncate restores the last
+// durable prefix, never a chain with a gap. A sync failure is reported
+// to the committer; the blocks stay applied in memory, since they are
+// valid chain state that consensus has already replicated.
+func (e *Engine) syncCommitted() error {
+	if !e.cfg.Sync {
+		return nil
 	}
-	if err := e.indexBlockLocked(b); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return e.store.SyncBatch()
 }
 
 // ApplyBlock validates and appends a block produced elsewhere (received
-// via consensus/gossip), then indexes it. Like CommitBlock, any due
+// via consensus/gossip), then indexes it. It runs the same staged
+// pipeline as CommitBlock with validation — the foreign-block
+// equivalent of prepare — fanned out off the engine lock; any due
 // checkpoint is built under the lock and persisted outside it.
 func (e *Engine) ApplyBlock(b *types.Block) error {
-	e.mu.Lock()
-	err := e.applyBlockLocked(b)
-	var ck *snapshot.Checkpoint
-	if err == nil {
-		ck = e.maybeBuildCheckpointLocked()
-	}
-	e.mu.Unlock()
+	e.commitMu.Lock()
+	ck, err := e.applyOne(b)
+	e.commitMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -528,11 +629,31 @@ func (e *Engine) ApplyBlock(b *types.Block) error {
 	return nil
 }
 
-func (e *Engine) applyBlockLocked(b *types.Block) error {
-	if _, err := e.store.Append(b); err != nil {
-		return err
+// applyOne runs a foreign block through the pipeline. Callers hold
+// commitMu.
+func (e *Engine) applyOne(b *types.Block) (*snapshot.Checkpoint, error) {
+	start := e.cfg.Obs.Now()
+	if err := b.ValidateWorkers(e.Parallelism()); err != nil {
+		return nil, err
 	}
-	return e.indexBlockLocked(b)
+	prepared := e.cfg.Obs.Now()
+	e.mPrepare.Observe(prepared - start)
+
+	e.mu.Lock()
+	if _, err := e.store.AppendNoSync(b); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	appended := e.cfg.Obs.Now()
+	if err := e.indexBlockLocked(b); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	ck := e.maybeBuildCheckpointLocked()
+	e.mu.Unlock()
+	e.mAppend.Observe(appended - prepared)
+	e.mIndex.Observe(e.cfg.Obs.Now() - appended)
+	return ck, e.syncCommitted()
 }
 
 // indexBlock locks and indexes (used during replay).
@@ -573,31 +694,48 @@ func (e *Engine) indexBlockLocked(b *types.Block) error {
 		e.tableIdx.Mark("senid:"+tx.SenID, int(bid))
 	}
 
-	// Layered indexes: the global system ones plus any user indexes.
-	for key, idx := range e.lidx {
-		entries, err := e.entriesFor(key, b)
-		if err != nil {
-			return err
-		}
-		idx.AppendBlock(bid, entries)
+	// Layered indexes and ALIs: the global system ones plus any user
+	// indexes. Each index is self-contained, so the per-index extract +
+	// append work fans out to the worker pool; the join happens before
+	// e.mu is released, so readers never see a block half-indexed and
+	// crash/replay fingerprints are identical to the serial walk. Keys
+	// are sorted so a failure is always reported for the same index
+	// regardless of scheduling.
+	tasks := make([]func() error, 0, len(e.lidx)+len(e.alis))
+	for _, key := range sortedKeys(e.lidx) {
+		idx := e.lidx[key]
+		tasks = append(tasks, func() error {
+			entries, err := e.entriesFor(key, b)
+			if err != nil {
+				return err
+			}
+			idx.AppendBlock(bid, entries)
+			return nil
+		})
 	}
-	for key, ali := range e.alis {
-		recs, err := e.recordsFor(key, b)
-		if err != nil {
-			return err
-		}
-		ali.AppendBlock(bid, recs)
+	for _, key := range sortedKeys(e.alis) {
+		ali := e.alis[key]
+		tasks = append(tasks, func() error {
+			recs, err := e.recordsFor(key, b)
+			if err != nil {
+				return err
+			}
+			ali.AppendBlock(bid, recs)
+			return nil
+		})
 	}
-	return nil
+	return parallel.Ordered(e.Parallelism(), len(tasks),
+		func(i int) (struct{}, error) { return struct{}{}, tasks[i]() },
+		func(int, struct{}) error { return nil })
 }
 
 // entriesFor extracts the layered-index entries of one block for the
 // index identified by key ("table.col" or ".senid"/".tname").
 func (e *Engine) entriesFor(key string, b *types.Block) ([]layered.Entry, error) {
-	spec := splitKey(key)
+	value := e.extractorFor(key)
 	var out []layered.Entry
 	for pos, tx := range b.Txs {
-		v, ok, err := e.valueFor(spec, tx)
+		v, ok, err := value(tx)
 		if err != nil {
 			return nil, err
 		}
@@ -608,12 +746,14 @@ func (e *Engine) entriesFor(key string, b *types.Block) ([]layered.Entry, error)
 	return out, nil
 }
 
-// recordsFor extracts the ALI records of one block.
+// recordsFor extracts the ALI records of one block. Transactions sealed
+// by the commit pipeline contribute their cached encoding as the
+// payload — the same bytes an unsealed re-encode would produce.
 func (e *Engine) recordsFor(key string, b *types.Block) ([]mbtree.Record, error) {
-	spec := splitKey(key)
+	value := e.extractorFor(key)
 	var out []mbtree.Record
 	for _, tx := range b.Txs {
-		v, ok, err := e.valueFor(spec, tx)
+		v, ok, err := value(tx)
 		if err != nil {
 			return nil, err
 		}
@@ -624,28 +764,62 @@ func (e *Engine) recordsFor(key string, b *types.Block) ([]mbtree.Record, error)
 	return out, nil
 }
 
-// valueFor resolves the indexed value of tx under spec; ok is false
-// when the transaction does not belong to the indexed table.
-func (e *Engine) valueFor(spec indexSpec, tx *types.Transaction) (types.Value, bool, error) {
+// extractorFor resolves one index key's per-transaction value lookup
+// once per block and returns the cheap per-transaction closure: the
+// schema lookup and column-position resolution that used to repeat for
+// every transaction of every index are hoisted out of the loop. The
+// closure reports ok=false for transactions outside the indexed table.
+// The schema resolves lazily on the first matching transaction, so
+// blocks without the indexed table never consult the catalog. Each call
+// returns a fresh closure, so extractors may run concurrently — one per
+// index task of the commit pipeline's fan-out, or one per block of a
+// backfill.
+func (e *Engine) extractorFor(key string) func(tx *types.Transaction) (types.Value, bool, error) {
+	spec := splitKey(key)
 	if spec.table == "" {
-		v, err := tx.SystemValue(spec.col)
+		// Global system index: every transaction carries the value.
+		return func(tx *types.Transaction) (types.Value, bool, error) {
+			v, err := tx.SystemValue(spec.col)
+			if err != nil {
+				return types.Null, false, err
+			}
+			return v, true, nil
+		}
+	}
+	col := strings.ToLower(spec.col)
+	if _, err := types.SystemColumnKind(col); err == nil {
+		// A table-scoped index on a system column needs no schema at all.
+		return func(tx *types.Transaction) (types.Value, bool, error) {
+			if tx.Tname != spec.table {
+				return types.Null, false, nil
+			}
+			v, err := tx.SystemValue(col)
+			if err != nil {
+				return types.Null, false, err
+			}
+			return v, true, nil
+		}
+	}
+	pos := -1
+	return func(tx *types.Transaction) (types.Value, bool, error) {
+		if tx.Tname != spec.table {
+			return types.Null, false, nil
+		}
+		if pos < 0 {
+			tbl, err := e.catalog.Lookup(spec.table)
+			if err != nil {
+				return types.Null, false, err
+			}
+			if pos = tbl.ColumnIndex(col); pos < 0 {
+				return types.Null, false, fmt.Errorf("core: table %q has no column %q", spec.table, col)
+			}
+		}
+		v, err := tx.Column(pos)
 		if err != nil {
 			return types.Null, false, err
 		}
 		return v, true, nil
 	}
-	if tx.Tname != spec.table {
-		return types.Null, false, nil
-	}
-	tbl, err := e.catalog.Lookup(spec.table)
-	if err != nil {
-		return types.Null, false, err
-	}
-	v, err := tbl.Value(tx, spec.col)
-	if err != nil {
-		return types.Null, false, err
-	}
-	return v, true, nil
 }
 
 func splitKey(key string) indexSpec {

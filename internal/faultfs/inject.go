@@ -32,8 +32,10 @@ type Options struct {
 type Injector struct {
 	mu   sync.Mutex
 	opts Options
-	// ops counts mutating operations observed so far.
+	// ops counts mutating operations observed so far; syncs counts just
+	// the Sync calls among them.
 	ops     int
+	syncs   int
 	crashed bool
 }
 
@@ -56,6 +58,15 @@ func (in *Injector) Mutations() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.ops
+}
+
+// Syncs returns the number of Sync calls observed. Group-fsync tests
+// use it to assert a batch of appends cost one fsync, not one per
+// block.
+func (in *Injector) Syncs() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.syncs
 }
 
 // down reports ErrCrashed once the crash fired.
@@ -234,6 +245,9 @@ func (w *injectFile) Sync() error {
 	if crash {
 		return ErrCrashed
 	}
+	w.in.mu.Lock()
+	w.in.syncs++
+	w.in.mu.Unlock()
 	return w.f.Sync()
 }
 

@@ -3,26 +3,30 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"strings"
 )
 
 // LockCheck enforces the repository's lock-grouping convention: in a
 // struct, the fields declared in the same contiguous group as a
-// `mu sync.Mutex` / `mu sync.RWMutex` field, below it, are guarded by
-// that mutex (a blank line ends the guarded group). Every exported
-// method on the struct that touches a guarded field must acquire the
-// mutex somewhere in its body. This is a heuristic — it cannot prove
-// the lock covers the access — but it catches the common regression of
-// adding a fast-path accessor that forgets the lock entirely.
+// sync.Mutex / sync.RWMutex field named `mu` or ending in `Mu`
+// (commitMu, ckptMu, ...), below it, are guarded by that mutex (a blank
+// line or another mutex field ends the guarded group). Every exported
+// method on the struct that touches a guarded field must acquire that
+// specific mutex somewhere in its body. This is a heuristic — it cannot
+// prove the lock covers the access — but it catches the common
+// regression of adding a fast-path accessor that forgets the lock
+// entirely.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "exported methods touching mu-guarded fields must acquire the mutex (escape: //sebdb:ignore-lock <reason>)",
+	Doc:  "exported methods touching mutex-guarded fields must acquire the guarding mutex (escape: //sebdb:ignore-lock <reason>)",
 	Run:  runLockCheck,
 }
 
-// guardedStruct records one struct's mutex-guarded field names.
+// guardedStruct maps one struct's guarded field names to the name of
+// the mutex field that guards each.
 type guardedStruct struct {
 	name    string
-	guarded map[string]bool
+	guarded map[string]string
 }
 
 func runLockCheck(pkg *Package) []Finding {
@@ -48,23 +52,25 @@ func runLockCheck(pkg *Package) []Finding {
 			if !isGuarded {
 				continue
 			}
-			touched := touchedGuardedField(fd.Body, recvName, gs.guarded)
-			if touched == "" || acquiresMutex(fd.Body, recvName) {
+			touched, guard := touchedGuardedField(fd.Body, recvName, gs.guarded)
+			if touched == "" || acquiresMutex(fd.Body, recvName, guard) {
 				continue
 			}
 			out = append(out, Finding{
 				Pos:      pkg.Fset.Position(fd.Pos()),
 				Analyzer: "lockcheck",
-				Message: fmt.Sprintf("exported method %s.%s touches mu-guarded field %q without acquiring %s.mu",
-					typeName, fd.Name.Name, touched, recvName),
+				Message: fmt.Sprintf("exported method %s.%s touches %s-guarded field %q without acquiring %s.%s",
+					typeName, fd.Name.Name, guard, touched, recvName, guard),
 			})
 		}
 	}
 	return out
 }
 
-// collectGuardedStructs scans a file for structs with a mu mutex field
-// and records the sibling fields in mu's contiguous declaration group.
+// collectGuardedStructs scans a file for structs with mutex fields and
+// records, per mutex, the sibling fields in its contiguous declaration
+// group. A struct may declare several guards (mu, commitMu, ckptMu);
+// each guards only its own group.
 func collectGuardedStructs(pkg *Package, f *ast.File, out map[string]*guardedStruct) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		ts, isType := n.(*ast.TypeSpec)
@@ -75,38 +81,34 @@ func collectGuardedStructs(pkg *Package, f *ast.File, out map[string]*guardedStr
 		if !isStruct || st.Fields == nil {
 			return true
 		}
-		muIdx := -1
-		for i, field := range st.Fields.List {
-			if !isMutexField(field) {
+		gs := &guardedStruct{name: ts.Name.Name, guarded: make(map[string]string)}
+		fields := st.Fields.List
+		for muIdx, field := range fields {
+			guard := mutexFieldName(field)
+			if guard == "" {
 				continue
 			}
-			for _, name := range field.Names {
-				if name.Name == "mu" {
-					muIdx = i
+			for i := muIdx + 1; i < len(fields); i++ {
+				// A blank line between fields ends the guarded group; doc and
+				// trailing comments stretch a field's extent. A second mutex
+				// ends it too — it starts its own group.
+				prevEnd := fields[i-1].End()
+				if fields[i-1].Comment != nil && fields[i-1].Comment.End() > prevEnd {
+					prevEnd = fields[i-1].Comment.End()
 				}
-			}
-		}
-		if muIdx < 0 {
-			return true
-		}
-		gs := &guardedStruct{name: ts.Name.Name, guarded: make(map[string]bool)}
-		fields := st.Fields.List
-		for i := muIdx + 1; i < len(fields); i++ {
-			// A blank line between fields ends the guarded group; doc and
-			// trailing comments stretch a field's extent.
-			prevEnd := fields[i-1].End()
-			if fields[i-1].Comment != nil && fields[i-1].Comment.End() > prevEnd {
-				prevEnd = fields[i-1].Comment.End()
-			}
-			start := fields[i].Pos()
-			if fields[i].Doc != nil {
-				start = fields[i].Doc.Pos()
-			}
-			if pkg.Fset.Position(start).Line > pkg.Fset.Position(prevEnd).Line+1 {
-				break
-			}
-			for _, name := range fields[i].Names {
-				gs.guarded[name.Name] = true
+				start := fields[i].Pos()
+				if fields[i].Doc != nil {
+					start = fields[i].Doc.Pos()
+				}
+				if pkg.Fset.Position(start).Line > pkg.Fset.Position(prevEnd).Line+1 {
+					break
+				}
+				if mutexFieldName(fields[i]) != "" {
+					break
+				}
+				for _, name := range fields[i].Names {
+					gs.guarded[name.Name] = guard
+				}
 			}
 		}
 		if len(gs.guarded) > 0 {
@@ -116,14 +118,24 @@ func collectGuardedStructs(pkg *Package, f *ast.File, out map[string]*guardedStr
 	})
 }
 
-// isMutexField matches `mu sync.Mutex` and `mu sync.RWMutex`.
-func isMutexField(field *ast.Field) bool {
+// mutexFieldName returns the field's name when it declares a guard —
+// a `sync.Mutex` / `sync.RWMutex` named `mu` or ending in `Mu` — and
+// "" otherwise.
+func mutexFieldName(field *ast.Field) string {
 	sel, isSel := field.Type.(*ast.SelectorExpr)
 	if !isSel {
-		return false
+		return ""
 	}
 	pkg, isID := sel.X.(*ast.Ident)
-	return isID && pkg.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+	if !isID || pkg.Name != "sync" || (sel.Sel.Name != "Mutex" && sel.Sel.Name != "RWMutex") {
+		return ""
+	}
+	for _, name := range field.Names {
+		if name.Name == "mu" || strings.HasSuffix(name.Name, "Mu") {
+			return name.Name
+		}
+	}
+	return ""
 }
 
 // receiverOf extracts the receiver variable and base type name.
@@ -147,27 +159,26 @@ func receiverOf(fd *ast.FuncDecl) (recvName, typeName string, ok bool) {
 }
 
 // touchedGuardedField returns the first guarded field the body accesses
-// through the receiver, or "".
-func touchedGuardedField(body *ast.BlockStmt, recvName string, guarded map[string]bool) string {
-	found := ""
+// through the receiver plus the mutex guarding it, or ("", "").
+func touchedGuardedField(body *ast.BlockStmt, recvName string, guarded map[string]string) (field, guard string) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		sel, isSel := n.(*ast.SelectorExpr)
 		if !isSel {
 			return true
 		}
 		id, isID := sel.X.(*ast.Ident)
-		if isID && id.Name == recvName && guarded[sel.Sel.Name] {
-			found = sel.Sel.Name
+		if isID && id.Name == recvName && guarded[sel.Sel.Name] != "" {
+			field, guard = sel.Sel.Name, guarded[sel.Sel.Name]
 			return false
 		}
 		return true
 	})
-	return found
+	return field, guard
 }
 
-// acquiresMutex reports whether the body calls recv.mu.Lock or
-// recv.mu.RLock anywhere.
-func acquiresMutex(body *ast.BlockStmt, recvName string) bool {
+// acquiresMutex reports whether the body calls recv.<guard>.Lock or
+// recv.<guard>.RLock anywhere.
+func acquiresMutex(body *ast.BlockStmt, recvName, guard string) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, isCall := n.(*ast.CallExpr)
@@ -179,7 +190,7 @@ func acquiresMutex(body *ast.BlockStmt, recvName string) bool {
 			return true
 		}
 		inner, isInner := sel.X.(*ast.SelectorExpr)
-		if !isInner || inner.Sel.Name != "mu" {
+		if !isInner || inner.Sel.Name != guard {
 			return true
 		}
 		id, isID := inner.X.(*ast.Ident)

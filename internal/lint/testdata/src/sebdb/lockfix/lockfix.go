@@ -21,3 +21,37 @@ func (c *Counter) Add() {
 func (c *Counter) Peek() int { // want:lockcheck
 	return c.count
 }
+
+// Pipeline declares two guards: mu for the live state and ckptMu for
+// the checkpoint floor. Each mutex guards only its own contiguous
+// declaration group.
+type Pipeline struct {
+	mu     sync.RWMutex
+	height int
+
+	ckptMu sync.Mutex
+	floor  uint64
+}
+
+// Height holds the right lock.
+func (p *Pipeline) Height() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.height
+}
+
+// Floor holds the wrong lock: mu does not guard floor, ckptMu does.
+func (p *Pipeline) Floor() uint64 { // want:lockcheck
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.floor
+}
+
+// Advance holds ckptMu, satisfying floor's guard.
+func (p *Pipeline) Advance(v uint64) {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	if v > p.floor {
+		p.floor = v
+	}
+}

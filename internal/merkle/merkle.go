@@ -10,6 +10,8 @@ package merkle
 import (
 	"crypto/sha256"
 	"errors"
+
+	"sebdb/internal/parallel"
 )
 
 // Hash is a 32-byte SHA-256 digest.
@@ -52,6 +54,51 @@ func Root(leaves []Hash) Hash {
 		}
 		if len(level)%2 == 1 {
 			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// minParallelPairs is the smallest number of pairs at one tree level
+// worth fanning out; below it the goroutine hand-off costs more than
+// the SHA-256 work it saves.
+const minParallelPairs = 64
+
+// RootWorkers computes Root with each level's pair hashing fanned out
+// over up to workers goroutines in contiguous chunks. Chunk boundaries
+// fall on pairs, so the pairing — and therefore the root — is
+// bit-identical to Root's; workers <= 1 or small inputs fall back to
+// the sequential walk.
+func RootWorkers(leaves []Hash, workers int) Hash {
+	if workers <= 1 || len(leaves) < 2*minParallelPairs {
+		return Root(leaves)
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		pairs := len(level) / 2
+		next := make([]Hash, pairs+len(level)%2)
+		if pairs >= minParallelPairs {
+			chunk := (pairs + workers - 1) / workers
+			nchunks := (pairs + chunk - 1) / chunk
+			// Chunks write disjoint ranges of next; no consume step and
+			// no error path.
+			_ = parallel.Ordered(workers, nchunks, //sebdb:ignore-err tasks always return nil; chunks write next in place
+				func(c int) (struct{}, error) {
+					for p := c * chunk; p < pairs && p < (c+1)*chunk; p++ {
+						next[p] = hashPair(level[2*p], level[2*p+1])
+					}
+					return struct{}{}, nil
+				},
+				func(int, struct{}) error { return nil })
+		} else {
+			for p := 0; p < pairs; p++ {
+				next[p] = hashPair(level[2*p], level[2*p+1])
+			}
+		}
+		if len(level)%2 == 1 {
+			next[pairs] = level[len(level)-1]
 		}
 		level = next
 	}

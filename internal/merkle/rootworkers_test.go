@@ -1,0 +1,34 @@
+package merkle
+
+import "testing"
+
+// TestRootWorkersMatchesRoot pins the parallel reduction to the serial
+// one across the interesting shapes: empty, single, odd-promotion
+// chains, and sizes straddling the minParallelPairs threshold.
+func TestRootWorkersMatchesRoot(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 5, 63, 64, 127, 128, 129,
+		2*minParallelPairs - 1, 2 * minParallelPairs, 2*minParallelPairs + 1, 1000}
+	for _, n := range sizes {
+		ls := leaves(n)
+		want := Root(ls)
+		for _, w := range []int{1, 2, 3, 4, 8, 16} {
+			if got := RootWorkers(ls, w); got != want {
+				t.Errorf("RootWorkers(n=%d, workers=%d) diverges from Root", n, w)
+			}
+		}
+	}
+}
+
+// TestRootWorkersDoesNotMutateLeaves guards the chunked reduction's
+// scratch buffer: the caller's slice must come back untouched.
+func TestRootWorkersDoesNotMutateLeaves(t *testing.T) {
+	ls := leaves(300)
+	orig := make([]Hash, len(ls))
+	copy(orig, ls)
+	RootWorkers(ls, 4)
+	for i := range ls {
+		if ls[i] != orig[i] {
+			t.Fatalf("leaf %d mutated by RootWorkers", i)
+		}
+	}
+}

@@ -29,6 +29,15 @@ import (
 //	  recovery.checkpoint      newest-checkpoint load + derived-state restore
 //	  recovery.replay          post-checkpoint suffix replay (counter: suffix_blocks)
 //
+// The commit pipeline reports its three stages straight to the stage
+// histogram (no trace context crosses the write path):
+//
+//	commit.prepare             lock-free block build: tx sealing, parallel
+//	                           Merkle hashing, header sign (or, on
+//	                           ApplyBlock, parallel validation)
+//	  commit.append            segment append under the engine lock
+//	  commit.index             fan-out index maintenance under the lock
+//
 // Every Finish also feeds the span's duration into the registry's
 // `sebdb_stage_micros{stage="<name>"}` histogram, so stage latencies
 // aggregate on /metrics even when no one reads the trace.

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"testing"
+
+	"sebdb/internal/faultfs"
+	"sebdb/internal/types"
+)
+
+// appendChainNoSync mirrors appendChain over the commit pipeline's
+// deferred-fsync entry point, validating each block up front the way
+// the prepare stage does.
+func appendChainNoSync(t testing.TB, s *Store, blocks, txPerBlock int) {
+	t.Helper()
+	var prev *types.BlockHeader
+	tid := uint64(1)
+	if tip, ok := s.Tip(); ok {
+		cp := tip
+		prev = &cp
+		tid = tip.FirstTid + uint64(tip.TxCount)
+	}
+	for i := 0; i < blocks; i++ {
+		b := mkBlock(prev, tid, txPerBlock)
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AppendNoSync(b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		prev = &b.Header
+		tid += uint64(txPerBlock)
+	}
+}
+
+// TestGroupFsyncOnePerBatch is the group-fsync contract: a batch of
+// AppendNoSync calls costs exactly one fsync at SyncBatch, and an
+// already-synced store makes SyncBatch a no-op.
+func TestGroupFsyncOnePerBatch(t *testing.T) {
+	inj := faultfs.New(faultfs.Options{OpsBeforeCrash: -1})
+	s, err := Open(t.TempDir(), Options{Sync: true, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	base := inj.Syncs()
+	appendChainNoSync(t, s, 8, 2)
+	if got := inj.Syncs(); got != base {
+		t.Fatalf("AppendNoSync synced %d times before SyncBatch", got-base)
+	}
+	if err := s.SyncBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Syncs(); got != base+1 {
+		t.Fatalf("SyncBatch issued %d fsyncs, want 1", got-base)
+	}
+	if err := s.SyncBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Syncs(); got != base+1 {
+		t.Fatal("SyncBatch on a clean store was not a no-op")
+	}
+}
+
+// TestGroupFsyncNoSyncOption: with Options.Sync off, neither the batch
+// appends nor SyncBatch touch fsync at all.
+func TestGroupFsyncNoSyncOption(t *testing.T) {
+	inj := faultfs.New(faultfs.Options{OpsBeforeCrash: -1})
+	s, err := Open(t.TempDir(), Options{FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := inj.Syncs()
+	appendChainNoSync(t, s, 4, 1)
+	if err := s.SyncBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Syncs(); got != base {
+		t.Fatalf("unsynced store issued %d fsyncs", got-base)
+	}
+}
+
+// TestGroupFsyncSegmentRoll: when an unsynced batch spans a segment
+// roll, the old segment is made durable before it is closed; the batch
+// then survives reopen in full.
+func TestGroupFsyncSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.Options{OpsBeforeCrash: -1})
+	s, err := Open(dir, Options{Sync: true, SegmentSize: 512, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := inj.Syncs()
+	appendChainNoSync(t, s, 12, 3) // ~200 bytes per block: several rolls
+	rolls := inj.Syncs() - base
+	if rolls == 0 {
+		t.Fatal("batch spanning a roll never synced the rolled segment")
+	}
+	if err := s.SyncBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count() != 12 {
+		t.Fatalf("reopen recovered %d of 12 blocks", re.Count())
+	}
+}
+
+// TestAppendNoSyncStillChecksLinkage: AppendNoSync skips Validate (the
+// pipeline validates in its prepare stage) but must still refuse a
+// block that does not extend the tip.
+func TestAppendNoSyncStillChecksLinkage(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendChainNoSync(t, s, 2, 1)
+	stranger := mkBlock(nil, 100, 1) // genesis-shaped: wrong height, wrong prev
+	if _, err := s.AppendNoSync(stranger); err == nil {
+		t.Fatal("AppendNoSync accepted a block that does not link to the tip")
+	}
+}

@@ -73,6 +73,10 @@ type Store struct {
 	cur     faultfs.File
 	curSeg  uint32
 	curSize int64
+	// dirty records that AppendNoSync wrote records the configured
+	// per-append fsync has not yet covered; SyncBatch (or a segment
+	// roll) clears it. Only meaningful when opts.Sync is set.
+	dirty   bool
 	locs    []Location
 	headers []types.BlockHeader
 	// txBase[i] is the Tid of the first transaction of block i; used by
@@ -269,6 +273,42 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(b, true)
+}
+
+// AppendNoSync appends a block the caller has already validated,
+// deferring the segment fsync to a later SyncBatch. It is the commit
+// pipeline's append: block validation (types.Block.ValidateWorkers)
+// runs in the lock-free prepare stage, and a batch of blocks committed
+// together is made durable by one SyncBatch instead of one fsync per
+// block. This is safe because recovery truncates a torn or unsynced
+// suffix back to the last valid record — a crash between appends and
+// the batch sync can only shorten the chain, never leave a gap. Chain
+// linkage is still checked here, under the store lock.
+func (s *Store) AppendNoSync(b *types.Block) (Location, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(b, false)
+}
+
+// SyncBatch fsyncs the current segment when unsynced appends are
+// pending and Options.Sync is set; otherwise it is a no-op. Appends
+// that cross a segment roll are covered too: rollSegment syncs the old
+// segment before closing it.
+func (s *Store) SyncBatch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return nil
+	}
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	s.dirty = false
+	return nil
+}
+
+func (s *Store) appendLocked(b *types.Block, sync bool) (Location, error) {
 	if err := s.checkLinkage(&b.Header); err != nil {
 		return Location{}, err
 	}
@@ -293,8 +333,12 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 		return Location{}, fmt.Errorf("storage: append: %w", err)
 	}
 	if s.opts.Sync {
-		if err := s.cur.Sync(); err != nil {
-			return Location{}, fmt.Errorf("storage: sync: %w", err)
+		if sync {
+			if err := s.cur.Sync(); err != nil {
+				return Location{}, fmt.Errorf("storage: sync: %w", err)
+			}
+		} else {
+			s.dirty = true
 		}
 	}
 	s.curSize += int64(len(rec))
@@ -313,6 +357,15 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 }
 
 func (s *Store) rollSegment() error {
+	// A batch of unsynced appends may span the roll: the old segment must
+	// be durable before it is closed, or SyncBatch on the new one would
+	// leave a hole in the middle of the batch.
+	if s.dirty {
+		if err := s.cur.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+		s.dirty = false
+	}
 	if err := s.cur.Close(); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}

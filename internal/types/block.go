@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sebdb/internal/merkle"
+	"sebdb/internal/parallel"
 )
 
 // BlockHeader is the metadata of a block (paper §IV-A, Fig. 3). Thin
@@ -131,12 +132,50 @@ func TxLeaves(txs []*Transaction) []Hash {
 	return leaves
 }
 
+// TxLeavesWorkers computes TxLeaves with the per-transaction encode and
+// leaf hash fanned out over up to workers goroutines. Every transaction
+// is Sealed as a side effect, so downstream consumers of the same batch
+// (block encoding, ALI record extraction) reuse the cached bytes. The
+// result is identical to TxLeaves; workers <= 1 runs sequentially
+// (still sealing).
+func TxLeavesWorkers(txs []*Transaction, workers int) []Hash {
+	leaves := make([]Hash, len(txs))
+	if workers <= 1 || len(txs) < 2 {
+		for i, t := range txs {
+			leaves[i] = merkle.HashLeaf(t.Seal())
+		}
+		return leaves
+	}
+	chunk := (len(txs) + workers - 1) / workers
+	nchunks := (len(txs) + chunk - 1) / chunk
+	// Chunks write disjoint ranges of leaves, so no consume step is
+	// needed; errors are impossible.
+	_ = parallel.Ordered(workers, nchunks, //sebdb:ignore-err tasks always return nil; chunks write leaves in place
+		func(c int) (struct{}, error) {
+			for i := c * chunk; i < len(txs) && i < (c+1)*chunk; i++ {
+				leaves[i] = merkle.HashLeaf(txs[i].Seal())
+			}
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	return leaves
+}
+
 // NewBlock assembles (but does not sign) a block on top of prev with the
 // given ordered transactions. prev may be nil for the genesis block.
 func NewBlock(prev *BlockHeader, txs []*Transaction, timestamp int64, signer string) *Block {
+	return NewBlockFromRoot(prev, txs, merkle.Root(TxLeaves(txs)), timestamp, signer)
+}
+
+// NewBlockFromRoot assembles a block whose Merkle root the caller
+// already computed — the commit pipeline hashes the leaves in parallel
+// with TxLeavesWorkers and reduces them with merkle.RootWorkers.
+// NewBlock is equivalent to NewBlockFromRoot with
+// merkle.Root(TxLeaves(txs)).
+func NewBlockFromRoot(prev *BlockHeader, txs []*Transaction, root Hash, timestamp int64, signer string) *Block {
 	h := BlockHeader{
 		Timestamp: timestamp,
-		TransRoot: merkle.Root(TxLeaves(txs)),
+		TransRoot: root,
 		TxCount:   uint32(len(txs)),
 		Signer:    signer,
 	}
@@ -150,12 +189,18 @@ func NewBlock(prev *BlockHeader, txs []*Transaction, timestamp int64, signer str
 	return &Block{Header: h, Txs: txs}
 }
 
-// Encode serialises the full block (header + body).
+// Encode serialises the full block (header + body). Transactions sealed
+// by the commit pipeline contribute their cached encoding; the bytes
+// are identical either way.
 func (b *Block) Encode(e *Encoder) {
 	b.Header.Encode(e)
 	e.Count(len(b.Txs))
 	for _, t := range b.Txs {
-		t.Encode(e)
+		if t.enc != nil && t.encTid == t.Tid && t.encTs == t.Ts {
+			e.Raw(t.enc)
+		} else {
+			t.Encode(e)
+		}
 	}
 }
 
@@ -206,6 +251,30 @@ func (b *Block) Validate() error {
 		}
 	}
 	if merkle.Root(TxLeaves(b.Txs)) != b.Header.TransRoot {
+		return fmt.Errorf("types: block %d merkle root mismatch", b.Header.Height)
+	}
+	return nil
+}
+
+// ValidateWorkers is Validate with the Merkle-root recomputation — the
+// dominant cost on large blocks — fanned out over up to workers
+// goroutines. The outcome is identical to Validate; the commit
+// pipeline's prepare stage uses it so foreign blocks are verified off
+// the engine lock.
+func (b *Block) ValidateWorkers(workers int) error {
+	if int(b.Header.TxCount) != len(b.Txs) {
+		return fmt.Errorf("types: block %d declares %d txs, has %d",
+			b.Header.Height, b.Header.TxCount, len(b.Txs))
+	}
+	if len(b.Txs) > 0 && b.Header.FirstTid != b.Txs[0].Tid {
+		return fmt.Errorf("types: block %d first tid mismatch", b.Header.Height)
+	}
+	for i := 1; i < len(b.Txs); i++ {
+		if b.Txs[i].Tid <= b.Txs[i-1].Tid {
+			return fmt.Errorf("types: block %d tids not increasing at %d", b.Header.Height, i)
+		}
+	}
+	if merkle.RootWorkers(TxLeavesWorkers(b.Txs, workers), workers) != b.Header.TransRoot {
 		return fmt.Errorf("types: block %d merkle root mismatch", b.Header.Height)
 	}
 	return nil

@@ -67,6 +67,12 @@ func (e *Encoder) Count(n int) {
 	e.Uint32(uint32(n))
 }
 
+// Raw appends pre-encoded bytes verbatim, with no length prefix. It
+// splices an encoding produced elsewhere (a sealed transaction, say)
+// into a larger one; the caller is responsible for v already being in
+// canonical form.
+func (e *Encoder) Raw(v []byte) { e.buf = append(e.buf, v...) }
+
 // Blob appends a uint32 length prefix followed by the bytes.
 func (e *Encoder) Blob(v []byte) {
 	e.Count(len(v))

@@ -1,0 +1,99 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func sealTx(i int) *Transaction {
+	return &Transaction{
+		Tid: uint64(i), Ts: int64(i) * 1000,
+		SenID: fmt.Sprintf("org%d", i%3), Tname: "donate",
+		Args: []Value{Str(fmt.Sprintf("donor%03d", i)), Dec(float64(i))},
+	}
+}
+
+func TestSealMatchesEncodeBytes(t *testing.T) {
+	tx := sealTx(7)
+	fresh := tx.EncodeBytes()
+	sealed := tx.Seal()
+	if !bytes.Equal(fresh, sealed) {
+		t.Fatal("Seal bytes differ from EncodeBytes")
+	}
+	// A second Seal and a post-seal EncodeBytes serve the cache.
+	if &tx.Seal()[0] != &sealed[0] || &tx.EncodeBytes()[0] != &sealed[0] {
+		t.Fatal("sealed transaction re-encoded instead of serving the cache")
+	}
+}
+
+// TestSealInvalidatedByTidTs pins the cache guard: mutating Tid or Ts —
+// the two fields the engine legitimately rewrites after construction —
+// must make both EncodeBytes and a re-Seal produce fresh, correct bytes.
+func TestSealInvalidatedByTidTs(t *testing.T) {
+	tx := sealTx(7)
+	stale := tx.Seal()
+
+	tx.Tid = 99
+	want := (&Transaction{Tid: 99, Ts: tx.Ts, SenID: tx.SenID, Tname: tx.Tname,
+		Sig: tx.Sig, PubKey: tx.PubKey, Args: tx.Args}).EncodeBytes()
+	if got := tx.EncodeBytes(); !bytes.Equal(got, want) {
+		t.Fatal("EncodeBytes served a stale cache after Tid mutation")
+	}
+	if got := tx.Seal(); !bytes.Equal(got, want) || bytes.Equal(got, stale) {
+		t.Fatal("re-Seal after Tid mutation did not refresh the cache")
+	}
+
+	tx.Ts += 5
+	if bytes.Equal(tx.EncodeBytes(), want) {
+		t.Fatal("EncodeBytes served a stale cache after Ts mutation")
+	}
+}
+
+// TestTxLeavesWorkersMatchesSerial pins the chunked hashing to the
+// serial TxLeaves across sizes and worker counts, and checks the
+// sealing side effect.
+func TestTxLeavesWorkersMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 201} {
+		txs := make([]*Transaction, n)
+		for i := range txs {
+			txs[i] = sealTx(i)
+		}
+		want := TxLeaves(txs)
+		for _, w := range []int{1, 2, 4, 8} {
+			got := TxLeavesWorkers(txs, w)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: %d leaves", n, w, len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: leaf %d diverges", n, w, i)
+				}
+			}
+		}
+		for i, tx := range txs {
+			if tx.enc == nil {
+				t.Fatalf("n=%d: tx %d not sealed by TxLeavesWorkers", n, i)
+			}
+		}
+	}
+}
+
+// TestBlockEncodeSealedUnsealedIdentical: a block over sealed
+// transactions must serialise byte-identically to one over unsealed
+// clones — the seal cache is an optimisation, never a format change.
+func TestBlockEncodeSealedUnsealedIdentical(t *testing.T) {
+	sealed := make([]*Transaction, 10)
+	plain := make([]*Transaction, 10)
+	for i := range sealed {
+		sealed[i] = sealTx(i)
+		cp := *sealed[i]
+		plain[i] = &cp
+	}
+	TxLeavesWorkers(sealed, 4)
+	bs := NewBlock(nil, sealed, 12345, "node0")
+	bp := NewBlock(nil, plain, 12345, "node0")
+	if !bytes.Equal(bs.EncodeBytes(), bp.EncodeBytes()) {
+		t.Fatal("sealed and unsealed block encodings differ")
+	}
+}

@@ -32,6 +32,17 @@ type Transaction struct {
 	PubKey []byte
 	// Args holds the application-level attribute values in schema order.
 	Args []Value
+
+	// enc caches the canonical encoding computed by Seal, with the
+	// (Tid, Ts) it was computed for. Those are the two fields legitimately
+	// mutated after construction (Tid assignment at commit, loaders
+	// re-stamping Ts), so a stale cache is detected by comparing them;
+	// mutating any other field after Seal is a bug. Only Seal writes
+	// these fields — EncodeBytes merely reads them — so sealed
+	// transactions can be encoded from many goroutines at once.
+	enc    []byte
+	encTid uint64
+	encTs  int64
 }
 
 // SigningBytes is the deterministic encoding the sender signs: all
@@ -74,11 +85,33 @@ func (t *Transaction) Encode(e *Encoder) {
 	e.Values(t.Args)
 }
 
-// EncodeBytes is a convenience wrapper around Encode.
+// EncodeBytes returns the transaction's canonical encoding: the bytes
+// cached by a prior Seal when still current, a fresh encoding otherwise.
+// The returned slice may alias the seal cache and must not be modified.
 func (t *Transaction) EncodeBytes() []byte {
+	if t.enc != nil && t.encTid == t.Tid && t.encTs == t.Ts {
+		return t.enc
+	}
 	e := NewEncoder(96 + 16*len(t.Args))
 	t.Encode(e)
 	return e.Bytes()
+}
+
+// Seal computes, caches and returns the canonical encoding. The commit
+// pipeline seals every transaction exactly once in its prepare stage —
+// after Tid assignment, fanned out over the worker pool — so Merkle
+// leaf hashing, block encoding and ALI record extraction all reuse one
+// buffer instead of each re-encoding the transaction. Seal is not safe
+// for concurrent use on the same transaction; once sealed, concurrent
+// EncodeBytes calls are.
+func (t *Transaction) Seal() []byte {
+	if t.enc != nil && t.encTid == t.Tid && t.encTs == t.Ts {
+		return t.enc
+	}
+	e := NewEncoder(96 + 16*len(t.Args))
+	t.Encode(e)
+	t.enc, t.encTid, t.encTs = e.Bytes(), t.Tid, t.Ts
+	return t.enc
 }
 
 // DecodeTransaction reads one transaction from d.

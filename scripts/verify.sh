@@ -37,6 +37,11 @@ echo "== faultfs crash matrix (-race) =="
 go test -race -run 'Injector|CrashMatrix|RestartEquivalence' \
     ./internal/faultfs ./internal/snapshot ./internal/core
 
+echo "== write pipeline stress (-race) =="
+go test -race -run 'CommitPipeline|GroupFsync|RequireSigs' \
+    ./internal/core ./internal/storage \
+    ./internal/consensus/kafka ./internal/consensus/pbft
+
 echo "== metrics endpoint smoke =="
 go test -race -run TestMetricsEndpoints ./cmd/sebdb-server
 
@@ -46,6 +51,11 @@ trap 'rm -f "$json_out"' EXIT
 go run ./cmd/bchainbench -fig 12 -scale 0.01 -json "$json_out" >/dev/null
 if ! grep -q '"figure"' "$json_out"; then
     echo "bchainbench -json produced no figure data" >&2
+    exit 1
+fi
+go run ./cmd/bchainbench -fig 7 -scale 0.01 -json "$json_out" >/dev/null
+if ! grep -q '"figure"' "$json_out"; then
+    echo "bchainbench -fig 7 -json produced no figure data" >&2
     exit 1
 fi
 
