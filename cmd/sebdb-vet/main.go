@@ -1,40 +1,65 @@
 // Command sebdb-vet runs the project's static-analysis suite
 // (internal/lint) over the module: bounded wire decoding, no dropped
-// errors, deterministic consensus code, lock discipline, and
-// truncation-safe uint32 length casts. It exits non-zero when any
-// violation survives the //sebdb:ignore-* directives.
+// errors, deterministic consensus code, lock discipline, the
+// interprocedural lock-I/O and trust-taint checks, and truncation-safe
+// uint32 length casts. It exits non-zero when any violation survives
+// the //sebdb:ignore-* directives.
 //
 // Usage:
 //
-//	sebdb-vet [-list] [dir]
+//	sebdb-vet [-list] [-json] [dir]
 //
 // dir defaults to "." and may be the familiar "./..." (the suite always
-// analyses the whole module rooted at dir's go.mod).
+// analyses the whole module rooted at dir's go.mod). With -json each
+// finding is emitted as one JSON object per line, with the file path
+// relative to the module root. Exit codes: 0 clean, 1 findings, 2 the
+// module failed to load.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"sebdb/internal/lint"
 )
 
+// jsonFinding is the -json line format.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sebdb-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as JSON, one object per line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	dir := "."
-	if flag.NArg() > 0 {
-		dir = strings.TrimSuffix(flag.Arg(0), "...")
+	if fs.NArg() > 0 {
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
 		dir = strings.TrimSuffix(dir, "/")
 		if dir == "" {
 			dir = "."
@@ -43,20 +68,39 @@ func main() {
 
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sebdb-vet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sebdb-vet:", err)
+		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sebdb-vet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "sebdb-vet:", err)
+		return 2
 	}
 	findings := lint.RunAll(pkgs)
+	enc := json.NewEncoder(stdout)
 	for _, f := range findings {
-		fmt.Println(f)
+		if *asJSON {
+			file := f.Pos.Filename
+			if rel, rerr := filepath.Rel(loader.Root(), file); rerr == nil {
+				file = filepath.ToSlash(rel)
+			}
+			if err := enc.Encode(jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     file,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintln(stderr, "sebdb-vet:", err)
+				return 2
+			}
+			continue
+		}
+		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sebdb-vet: %d violation(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sebdb-vet: %d violation(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// The lint fixture module is deliberately dirty: -json output over it is
+// pinned by a golden file, so both the finding set and the output format
+// are regression-checked.
+func TestDirtyTreeJSONMatchesGolden(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "sebdb")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "findings.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output diverged from %s (rerun with -update if intended)\ngot:\n%swant:\n%s",
+			golden, out.String(), string(want))
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{filepath.Join("testdata", "clean")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree produced output:\n%s", out.String())
+	}
+}
+
+// A go.mod without a module directive cannot be loaded; the broken
+// fixture pins the load-failure exit code. (A nonexistent directory is
+// not used here: the loader would walk up and find this repository's
+// own go.mod.)
+func TestBrokenModuleExitsTwo(t *testing.T) {
+	code := run([]string{filepath.Join("testdata", "broken")}, io.Discard, io.Discard)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"lockio", "trusttaint", "lockcheck"} {
+		if !bytes.Contains(out.Bytes(), []byte(name)) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}

@@ -1,0 +1,2 @@
+// Package broken has a go.mod with no module path.
+package broken

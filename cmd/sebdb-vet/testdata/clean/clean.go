@@ -1,0 +1,6 @@
+// Package clean is a violation-free module: the CLI test asserts
+// sebdb-vet exits 0 with no output on it.
+package clean
+
+// Add is unremarkable on purpose.
+func Add(a, b int) int { return a + b }

@@ -497,12 +497,14 @@ func (e *Engine) FlushAt(ts int64) error {
 			n = e.cfg.BlockMaxTxs
 		}
 		var c *snapshot.Checkpoint
+		//sebdb:ignore-lockio reason: commitMu is the writer-pipeline lock; it exists to serialise the append+fsync pipeline, and readers never take it
 		_, c, err = e.commitOne(pending[:n], ts, false)
 		if c != nil {
 			ck = c
 		}
 		pending = pending[n:]
 	}
+	//sebdb:ignore-lockio reason: the batch group fsync runs under commitMu by design — writers queue behind durability, readers never take commitMu
 	if serr := e.syncCommitted(); err == nil {
 		err = serr
 	}
@@ -527,6 +529,7 @@ func (e *Engine) FlushAt(ts int64) error {
 // checkpoint I/O.
 func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error) {
 	e.commitMu.Lock()
+	//sebdb:ignore-lockio reason: commitMu serialises the writer pipeline including the block fsync; readers never take it, and checkpoint I/O is outside it
 	b, ck, err := e.commitOne(txs, ts, true)
 	e.commitMu.Unlock()
 	if err != nil {
@@ -546,6 +549,7 @@ func (e *Engine) commitOne(txs []*types.Transaction, ts int64, syncNow bool) (*t
 	e.mPrepare.Observe(prepared - start)
 
 	e.mu.Lock()
+	//sebdb:ignore-lockio reason: AppendNoSync is a buffered segment append — it fsyncs only on segment roll, an audited rarity; the per-block fsync is outside e.mu
 	if _, err := e.store.AppendNoSync(b); err != nil {
 		e.mu.Unlock()
 		return nil, nil, err
@@ -620,6 +624,7 @@ func (e *Engine) syncCommitted() error {
 // checkpoint is built under the lock and persisted outside it.
 func (e *Engine) ApplyBlock(b *types.Block) error {
 	e.commitMu.Lock()
+	//sebdb:ignore-lockio reason: commitMu serialises the foreign-block pipeline including its fsync; readers never take it
 	ck, err := e.applyOne(b)
 	e.commitMu.Unlock()
 	if err != nil {
@@ -640,6 +645,7 @@ func (e *Engine) applyOne(b *types.Block) (*snapshot.Checkpoint, error) {
 	e.mPrepare.Observe(prepared - start)
 
 	e.mu.Lock()
+	//sebdb:ignore-lockio reason: AppendNoSync is a buffered segment append — it fsyncs only on segment roll, an audited rarity; the per-block fsync is outside e.mu
 	if _, err := e.store.AppendNoSync(b); err != nil {
 		e.mu.Unlock()
 		return nil, err

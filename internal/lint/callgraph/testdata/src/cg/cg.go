@@ -1,0 +1,56 @@
+// Package cg is the call-graph builder's fixture: method values,
+// interface dispatch widening, closures and recursion, with leaf
+// functions the tests use as reachability sinks.
+package cg
+
+// Ringer is dispatched through below; the builder widens Ring calls to
+// every implementation in the module.
+type Ringer interface {
+	Ring()
+}
+
+// Bell implements Ringer on a pointer receiver.
+type Bell struct{}
+
+// Ring reaches clang.
+func (b *Bell) Ring() { clang() }
+
+// Horn implements Ringer on a value receiver.
+type Horn struct{}
+
+// Ring reaches honk.
+func (h Horn) Ring() { honk() }
+
+func clang() {}
+
+func honk() {}
+
+// Dispatch calls through the interface: widened to both Ring methods.
+func Dispatch(r Ringer) { r.Ring() }
+
+// MethodValue never calls Ring, but returns it as a value — the
+// escaping reference still puts Bell.Ring on MethodValue's frontier.
+func MethodValue(b *Bell) func() {
+	return b.Ring
+}
+
+// Closure runs clang from a function literal; the literal's body is
+// attributed to Closure itself.
+func Closure() {
+	run := func() { clang() }
+	run()
+}
+
+// Loop recurses and calls Leaf on the way down.
+func Loop(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Loop(n-1) + Leaf()
+}
+
+// Leaf terminates the recursion chain.
+func Leaf() int { return 1 }
+
+// Isolated calls nothing and nothing calls it.
+func Isolated() {}

@@ -2,10 +2,11 @@ package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
-	"strings"
+
+	"sebdb/internal/lint/callgraph"
 )
 
 // Finding is one reported invariant violation.
@@ -26,7 +27,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
-	// Run reports the violations in one package.
+	// Run reports the violations in one package. It is nil for the
+	// interprocedural analyzers (lockio, trusttaint), which RunAll
+	// drives off the shared module-wide call graph instead.
 	Run func(pkg *Package) []Finding
 }
 
@@ -38,144 +41,59 @@ func Analyzers() []*Analyzer {
 		DroppedErr,
 		Determinism,
 		LockCheck,
+		LockIO,
 		Obsclock,
+		TrustTaint,
 		U32Trunc,
 	}
 }
 
-// directivePrefix introduces suppression comments:
-// //sebdb:ignore-<name> <reason>. The reason is mandatory — a
-// suppression nobody can justify is itself reported.
-const directivePrefix = "//sebdb:ignore-"
-
-// directiveAliases maps directive suffixes to analyzer names, so the
-// documented //sebdb:ignore-err form reaches droppederr.
-var directiveAliases = map[string]string{
-	"atomic":       "atomicwrite",
-	"atomicwrite":  "atomicwrite",
-	"err":          "droppederr",
-	"droppederr":   "droppederr",
-	"decodebounds": "decodebounds",
-	"determinism":  "determinism",
-	"lock":         "lockcheck",
-	"lockcheck":    "lockcheck",
-	"obsclock":     "obsclock",
-	"u32":          "u32trunc",
-	"u32trunc":     "u32trunc",
-}
-
-// suppression records where one directive silences one analyzer.
-type suppression struct {
-	analyzer  string
-	file      string
-	line      int // directive's own line; also silences line+1
-	from, to  int // optional declaration range (inclusive lines), 0 if none
-	reasonOK  bool
-	directive token.Position
-}
-
-// collectSuppressions gathers every directive in the package, attaching
-// declaration ranges for doc comments.
-func collectSuppressions(pkg *Package) []suppression {
-	var out []suppression
-	for _, f := range pkg.Files {
-		// Map doc-comment positions to their declaration's line range so
-		// a directive above a func/type suppresses the whole body.
-		docRange := make(map[token.Pos][2]int)
-		for _, decl := range f.Decls {
-			var doc *ast.CommentGroup
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				doc = d.Doc
-			case *ast.GenDecl:
-				doc = d.Doc
-			}
-			if doc != nil {
-				docRange[doc.Pos()] = [2]int{
-					pkg.Fset.Position(decl.Pos()).Line,
-					pkg.Fset.Position(decl.End()).Line,
-				}
-			}
-		}
-		for _, cg := range f.Comments {
-			rng, isDoc := docRange[cg.Pos()]
-			for _, c := range cg.List {
-				name, reason, ok := parseDirective(c.Text)
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				s := suppression{
-					analyzer:  name,
-					file:      pos.Filename,
-					line:      pos.Line,
-					reasonOK:  reason != "",
-					directive: pos,
-				}
-				if isDoc {
-					s.from, s.to = rng[0], rng[1]
-				}
-				out = append(out, s)
-			}
-		}
-	}
-	return out
-}
-
-// parseDirective splits a //sebdb:ignore-<name> <reason> comment.
-func parseDirective(text string) (analyzer, reason string, ok bool) {
-	rest, found := strings.CutPrefix(text, directivePrefix)
-	if !found {
-		return "", "", false
-	}
-	name, reason, _ := strings.Cut(rest, " ")
-	canonical, known := directiveAliases[name]
-	if !known {
-		return "", "", false
-	}
-	return canonical, strings.TrimSpace(reason), true
-}
-
-// suppresses reports whether s silences a finding of the given analyzer
-// at pos.
-func (s suppression) suppresses(analyzer string, pos token.Position) bool {
-	if s.analyzer != analyzer || s.file != pos.Filename {
-		return false
-	}
-	if pos.Line == s.line || pos.Line == s.line+1 {
-		return true
-	}
-	return s.from != 0 && pos.Line >= s.from && pos.Line <= s.to
-}
-
 // RunAll runs every analyzer over every package, applies suppression
 // directives, and returns the surviving findings sorted by position.
-// Directives without a reason are reported as findings themselves.
+// Directives without an accepted reason are reported as findings
+// themselves. The interprocedural analyzers share one conservative
+// call graph built over the whole module.
 func RunAll(pkgs []*Package) []Finding {
+	cgPkgs := make([]*callgraph.Package, len(pkgs))
+	var fset *token.FileSet
+	for i, p := range pkgs {
+		cgPkgs[i] = &callgraph.Package{Path: p.Path, Files: p.Files, Info: p.Info, Types: p.Types}
+		fset = p.Fset // the loader shares one FileSet across packages
+	}
+	graph := callgraph.Build(fset, cgPkgs)
+	ioReach := graph.Reaches(func(fn *types.Func) bool { return matchSpec(lockIOSinks, fn) })
+	taint := newTrustTaint(graph, pkgs)
+
 	var out []Finding
 	for _, pkg := range pkgs {
 		sups := collectSuppressions(pkg)
 		for _, s := range sups {
 			if !s.reasonOK {
-				out = append(out, Finding{
-					Pos:      s.directive,
-					Analyzer: s.analyzer,
-					Message:  fmt.Sprintf("%s%s directive needs a reason", directivePrefix, s.analyzer),
-				})
+				msg := fmt.Sprintf("%s%s directive needs a reason", directivePrefix, s.analyzer)
+				if reasonClauseRequired[s.analyzer] {
+					msg = fmt.Sprintf("%s%s directive needs a `reason:` clause", directivePrefix, s.analyzer)
+				}
+				out = append(out, Finding{Pos: s.directive, Analyzer: s.analyzer, Message: msg})
 			}
 		}
+		var found []Finding
 		for _, a := range Analyzers() {
-			for _, f := range a.Run(pkg) {
-				silenced := false
-				for _, s := range sups {
-					if s.reasonOK && s.suppresses(f.Analyzer, f.Pos) {
-						silenced = true
-						break
-					}
+			if a.Run != nil {
+				found = append(found, a.Run(pkg)...)
+			}
+		}
+		found = append(found, runLockIO(pkg, graph, ioReach)...)
+		found = append(found, taint.findings[pkg]...)
+		for _, f := range found {
+			silenced := false
+			for _, s := range sups {
+				if s.reasonOK && s.suppresses(f.Analyzer, f.Pos) {
+					silenced = true
+					break
 				}
-				if !silenced {
-					out = append(out, f)
-				}
+			}
+			if !silenced {
+				out = append(out, f)
 			}
 		}
 	}

@@ -83,6 +83,8 @@ func TestDecodeBoundsFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, 
 func TestDroppedErrFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "droppederr") }
 func TestDeterminismFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "determinism") }
 func TestLockCheckFlagsSeededViolation(t *testing.T)    { requireAnalyzerHit(t, "lockcheck") }
+func TestLockIOFlagsSeededViolation(t *testing.T)       { requireAnalyzerHit(t, "lockio") }
+func TestTrustTaintFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "trusttaint") }
 func TestObsclockFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "obsclock") }
 func TestU32TruncFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "u32trunc") }
 
@@ -137,6 +139,8 @@ func TestDirectiveParsing(t *testing.T) {
 		{"//sebdb:ignore-droppederr full name", "droppederr", "full name", true},
 		{"//sebdb:ignore-obsclock boot banner", "obsclock", "boot banner", true},
 		{"//sebdb:ignore-err", "droppederr", "", true},
+		{"//sebdb:ignore-lockio reason: store serialises its own fsync", "lockio", "reason: store serialises its own fsync", true},
+		{"//sebdb:ignore-trusttaint reason: payload CRC-checked above", "trusttaint", "reason: payload CRC-checked above", true},
 		{"//sebdb:ignore-unknown whatever", "", "", false},
 		{"// plain comment", "", "", false},
 	} {
@@ -144,6 +148,27 @@ func TestDirectiveParsing(t *testing.T) {
 		if analyzer != tc.analyzer || reason != tc.reason || ok != tc.ok {
 			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
 				tc.text, analyzer, reason, ok, tc.analyzer, tc.reason, tc.ok)
+		}
+	}
+}
+
+// The interprocedural analyzers demand an explicit reason: clause; the
+// file-local ones accept any non-empty reason.
+func TestReasonClausePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		analyzer, reason string
+		ok               bool
+	}{
+		{"droppederr", "teardown", true},
+		{"droppederr", "", false},
+		{"lockio", "serialised by design", false},
+		{"lockio", "reason: serialised by design", true},
+		{"lockio", "reason:", false},
+		{"trusttaint", "checked above", false},
+		{"trusttaint", "reason: CRC-checked above", true},
+	} {
+		if got := reasonAccepted(tc.analyzer, tc.reason); got != tc.ok {
+			t.Errorf("reasonAccepted(%q, %q) = %v, want %v", tc.analyzer, tc.reason, got, tc.ok)
 		}
 	}
 }

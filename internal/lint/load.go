@@ -48,6 +48,9 @@ type Loader struct {
 	pkgs       map[string]*Package // by import path; nil entry = in progress
 }
 
+// Root returns the loaded module's root directory.
+func (l *Loader) Root() string { return l.moduleRoot }
+
 // NewLoader returns a loader rooted at the module containing dir.
 func NewLoader(dir string) (*Loader, error) {
 	root, path, err := findModule(dir)

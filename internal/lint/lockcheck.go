@@ -44,7 +44,7 @@ func runLockCheck(pkg *Package) []Finding {
 			if !isFunc || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
-			recvName, typeName, ok := receiverOf(fd)
+			recvName, typeName, byValue, ok := receiverOf(fd)
 			if !ok {
 				continue
 			}
@@ -53,7 +53,23 @@ func runLockCheck(pkg *Package) []Finding {
 				continue
 			}
 			touched, guard := touchedGuardedField(fd.Body, recvName, gs.guarded)
-			if touched == "" || acquiresMutex(fd.Body, recvName, guard) {
+			if touched == "" {
+				continue
+			}
+			if byValue {
+				// A value receiver copies the struct — including the mutex —
+				// without holding the lock. Acquiring the copied mutex guards
+				// nothing, so this is a violation whether or not the body
+				// calls Lock.
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(fd.Pos()),
+					Analyzer: "lockcheck",
+					Message: fmt.Sprintf("method %s.%s touches %s-guarded field %q through a value receiver — the receiver (and its mutex) is an unguarded copy; use a pointer receiver",
+						typeName, fd.Name.Name, guard, touched),
+				})
+				continue
+			}
+			if acquiresMutex(fd.Body, recvName, guard) {
 				continue
 			}
 			out = append(out, Finding{
@@ -138,24 +154,27 @@ func mutexFieldName(field *ast.Field) string {
 	return ""
 }
 
-// receiverOf extracts the receiver variable and base type name.
-func receiverOf(fd *ast.FuncDecl) (recvName, typeName string, ok bool) {
+// receiverOf extracts the receiver variable, base type name, and
+// whether the method takes its receiver by value (a copy).
+func receiverOf(fd *ast.FuncDecl) (recvName, typeName string, byValue, ok bool) {
 	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
-		return "", "", false
+		return "", "", false, false
 	}
 	recvName = fd.Recv.List[0].Names[0].Name
 	t := fd.Recv.List[0].Type
+	byValue = true
 	if star, isStar := t.(*ast.StarExpr); isStar {
 		t = star.X
+		byValue = false
 	}
 	if gen, isGen := t.(*ast.IndexExpr); isGen { // generic receiver T[P]
 		t = gen.X
 	}
 	id, isID := t.(*ast.Ident)
 	if !isID {
-		return "", "", false
+		return "", "", false, false
 	}
-	return recvName, id.Name, true
+	return recvName, id.Name, byValue, true
 }
 
 // touchedGuardedField returns the first guarded field the body accesses

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sebdb/internal/lint/callgraph"
+)
+
+// LockIO enforces the engine's lock-split discipline interprocedurally:
+// no critical section guarded by a `mu`/`*Mu` mutex may reach blocking
+// I/O — fsync, file create/rename/truncate, checkpoint encode or bulk
+// checkpoint load, network reads and writes — through any chain of
+// calls. The lock splits of the checkpoint and commit-pipeline work
+// (build under e.mu, encode+fsync outside; prepare under commitMu,
+// group fsync outside e.mu) stay machine-checked instead of relying on
+// review. Audited exceptions (the segment store serialising its own
+// I/O, ckptMu existing precisely to cover checkpoint persists) carry a
+// //sebdb:ignore-lockio reason: <why> directive.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "mutex-guarded critical sections must not reach blocking I/O through any call chain (escape: //sebdb:ignore-lockio reason: <why>)",
+	Run:  nil, // installed by RunAll via the shared call graph
+}
+
+// funcSpec names a function or method by package path, receiver base
+// type ("" for plain functions) and name. It is how the
+// interprocedural analyzers curate sinks, sources and sanitizers.
+type funcSpec struct {
+	pkg  string
+	recv string
+	name string
+}
+
+// lockIOSinks is the blocking-I/O frontier. Plain buffered writes to an
+// already-open segment are deliberately absent: the commit pipeline
+// appends under e.mu by design, and only durability operations (fsync,
+// create, rename), bulk checkpoint encode/load and network I/O block
+// long enough to break the lock contract.
+var lockIOSinks = []funcSpec{
+	// Standard library durability and file-creation operations.
+	{"os", "File", "Sync"},
+	{"os", "", "Rename"},
+	{"os", "", "Create"},
+	{"os", "", "OpenFile"},
+	{"os", "", "WriteFile"},
+	{"os", "", "Remove"},
+	{"os", "", "RemoveAll"},
+	{"os", "", "Truncate"},
+	{"os", "", "Mkdir"},
+	{"os", "", "MkdirAll"},
+	// Network I/O.
+	{"net", "Conn", "Read"},
+	{"net", "Conn", "Write"},
+	{"net", "", "Dial"},
+	{"sebdb/internal/network", "", "WriteFrame"},
+	{"sebdb/internal/network", "", "ReadFrame"},
+	{"sebdb/internal/network", "Client", "Call"},
+	// The injected filesystem the storage and snapshot layers write
+	// through (the interface methods themselves are the sinks, so the
+	// check holds regardless of which FS implementation is bound).
+	{"sebdb/internal/faultfs", "File", "Sync"},
+	{"sebdb/internal/faultfs", "FS", "Rename"},
+	{"sebdb/internal/faultfs", "FS", "Remove"},
+	{"sebdb/internal/faultfs", "FS", "Truncate"},
+	{"sebdb/internal/faultfs", "FS", "OpenFile"},
+	{"sebdb/internal/faultfs", "FS", "MkdirAll"},
+	// Checkpoint encode and bulk checkpoint file I/O: the exact
+	// operations the PR-5 lock split moved out of e.mu.
+	{"sebdb/internal/snapshot", "Checkpoint", "Encode"},
+	{"sebdb/internal/snapshot", "Dir", "Write"},
+	{"sebdb/internal/snapshot", "Dir", "Load"},
+	{"sebdb/internal/snapshot", "Dir", "Raw"},
+}
+
+// matchSpec reports whether fn matches one of the curated specs.
+func matchSpec(specs []funcSpec, fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, recv, name := fn.Pkg().Path(), "", fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = recvBaseName(sig.Recv().Type())
+	}
+	for _, s := range specs {
+		if s.pkg == pkg && s.recv == recv && s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// recvBaseName returns the base type name of a receiver type.
+func recvBaseName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// runLockIO runs the analyzer over one package given the module-wide
+// call graph and the precomputed sink reachability.
+func runLockIO(pkg *Package, g *callgraph.Graph, reach *callgraph.Reach) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		funcBodies(f, func(fn ast.Node, body *ast.BlockStmt) {
+			name := "function"
+			if fd, ok := fn.(*ast.FuncDecl); ok {
+				name = fd.Name.Name
+			}
+			out = append(out, scanCriticalSections(pkg, g, reach, name, body.List, nil)...)
+			// Function literals (goroutine bodies in particular) run on
+			// their own flow: scan each as an independent section context
+			// so a lock acquired inside one is still checked.
+			ast.Inspect(body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, scanCriticalSections(pkg, g, reach, name+" (func literal)", lit.Body.List, nil)...)
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// heldGuard is one mutex the current flow holds.
+type heldGuard struct {
+	expr string // canonical guard expression, e.g. "e.mu"
+}
+
+// scanCriticalSections walks one statement list in source order,
+// tracking which guards are held, and checks every call made while any
+// guard is held. Nested blocks inherit the held set; guards acquired
+// inside a nested block do not leak out (acquiring in a branch and
+// relying on it afterwards is not a pattern this codebase uses).
+// Unlocks inside nested blocks likewise do not release the outer flow —
+// conservative in the early-unlock-and-return idiom, where the branch
+// ends in a return anyway.
+func scanCriticalSections(pkg *Package, g *callgraph.Graph, reach *callgraph.Reach, fnName string, stmts []ast.Stmt, held []heldGuard) []Finding {
+	var out []Finding
+	held = append([]heldGuard(nil), held...)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if guard, locks, ok := guardCall(pkg, s.X); ok {
+				if locks {
+					held = append(held, heldGuard{expr: guard})
+				} else {
+					held = releaseGuard(held, guard)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			if guard, locks, ok := guardCall(pkg, s.Call); ok && locks {
+				held = append(held, heldGuard{expr: guard})
+				continue
+			}
+			// A deferred unlock keeps the guard held to the end of the
+			// function; deferred non-lock calls run before it (LIFO), i.e.
+			// still under the lock — fall through to the generic check.
+		}
+		if len(held) > 0 {
+			out = append(out, checkGuardedStmt(pkg, g, reach, fnName, held, stmt)...)
+		}
+		// Recurse into nested statement lists with the current held set,
+		// skipping the ones checkGuardedStmt already covered.
+		if len(held) == 0 {
+			for _, nested := range nestedStmtLists(stmt) {
+				out = append(out, scanCriticalSections(pkg, g, reach, fnName, nested, held)...)
+			}
+		}
+	}
+	return out
+}
+
+// nestedStmtLists returns the statement lists nested in one statement.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// guardCall matches expr as <guard>.Lock/RLock/Unlock/RUnlock() where
+// the guard is a mutex-convention expression (final selector `mu` or
+// `*Mu`). locks is true for acquisitions.
+func guardCall(pkg *Package, expr ast.Expr) (guard string, locks, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var isLock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isLock = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	inner, isInner := sel.X.(*ast.SelectorExpr)
+	if !isInner || !isGuardName(inner.Sel.Name) {
+		// A bare `mu.Lock()` on a package-level or local guard.
+		if id, isID := sel.X.(*ast.Ident); isID && isGuardName(id.Name) {
+			return id.Name, isLock, true
+		}
+		return "", false, false
+	}
+	return exprText(pkg.Fset, sel.X), isLock, true
+}
+
+// isGuardName matches the repository's mutex naming convention.
+func isGuardName(name string) bool {
+	return name == "mu" || strings.HasSuffix(name, "Mu") || strings.HasSuffix(name, "mu")
+}
+
+// releaseGuard drops the most recent acquisition of guard.
+func releaseGuard(held []heldGuard, guard string) []heldGuard {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].expr == guard {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// checkGuardedStmt reports every call in stmt (excluding `go`
+// statements — a spawned goroutine does not run under the caller's
+// lock) whose callee is, or transitively reaches, a blocking sink.
+func checkGuardedStmt(pkg *Package, g *callgraph.Graph, reach *callgraph.Reach, fnName string, held []heldGuard, stmt ast.Stmt) []Finding {
+	var out []Finding
+	guards := make([]string, len(held))
+	for i, h := range held {
+		guards[i] = h.expr
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if _, _, isGuardOp := guardCall(pkg, call); isGuardOp {
+			return true
+		}
+		for _, callee := range g.CalleesAt(pkg.Info, call) {
+			if !reach.Reaches(callee) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "lockio",
+				Message: fmt.Sprintf("%s holds %s while calling %s, which reaches blocking I/O: %s",
+					fnName, strings.Join(guards, "+"), callee.Name(), sinkPath(reach, callee)),
+			})
+			break // one finding per call site is enough
+		}
+		return true
+	})
+	return out
+}
+
+// sinkPath renders the witness call chain to the sink.
+func sinkPath(reach *callgraph.Reach, fn *types.Func) string {
+	path := reach.Path(fn)
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = funcDisplay(p)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// funcDisplay renders a function as pkg.Recv.Name or pkg.Name.
+func funcDisplay(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if base := recvBaseName(sig.Recv().Type()); base != "" {
+			return pkg + base + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

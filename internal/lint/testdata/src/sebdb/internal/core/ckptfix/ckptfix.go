@@ -1,0 +1,106 @@
+// Package ckptfix seeds lockio violations: it reconstructs the
+// pre-lock-split commit pipeline, where the checkpoint was encoded and
+// persisted while still holding the engine mutex — the exact regression
+// the checkpoint/commit lock-split work removed and lockio now guards
+// against. The sinks sit two calls deep, so only the interprocedural
+// call graph can see them.
+package ckptfix
+
+import (
+	"sync"
+
+	"sebdb/internal/snapshot"
+)
+
+// Engine models the core engine's lock layout.
+type Engine struct {
+	mu     sync.Mutex
+	height uint64
+
+	dir *snapshot.Dir
+}
+
+// Commit models the pre-split pipeline: persist (which encodes and
+// writes the checkpoint) runs under e.mu, two calls from the sink.
+func (e *Engine) Commit() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.height++
+	return e.persist() // want:lockio
+}
+
+// persist encodes and writes the current checkpoint. It takes no lock
+// itself — the violation is holding one across this call.
+func (e *Engine) persist() error {
+	ck := &snapshot.Checkpoint{Height: e.height}
+	ck.Raw = ck.Encode()
+	return e.dir.Write(ck)
+}
+
+// CommitSplit models the post-split discipline: the checkpoint is built
+// under the lock, encoded and persisted after release. Clean.
+func (e *Engine) CommitSplit() error {
+	e.mu.Lock()
+	e.height++
+	ck := &snapshot.Checkpoint{Height: e.height}
+	e.mu.Unlock()
+	return e.dir.Write(ck)
+}
+
+// FlushAudited persists under the lock behind an audited suppression
+// with the mandatory reason: clause. No finding survives.
+func (e *Engine) FlushAudited() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//sebdb:ignore-lockio reason: fixture models an audited exception, serialised by design
+	return e.persist()
+}
+
+// FlushUnaudited carries a suppression without the reason: clause the
+// interprocedural analyzers demand: the directive itself is reported,
+// and the call under it stays flagged.
+func (e *Engine) FlushUnaudited() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//sebdb:ignore-lockio checked by eye -- want:lockio
+	return e.persist() // want:lockio
+}
+
+// Persister abstracts the checkpoint destination; lockio widens the
+// interface call to every in-module implementation.
+type Persister interface {
+	Persist(ck *snapshot.Checkpoint) error
+}
+
+// DirPersister is the only implementation in the module; its Persist
+// reaches the Dir.Write sink.
+type DirPersister struct {
+	dir *snapshot.Dir
+}
+
+// Persist writes the checkpoint through.
+func (p *DirPersister) Persist(ck *snapshot.Checkpoint) error {
+	return p.dir.Write(ck)
+}
+
+// CommitVia holds the lock across an interface call whose widened
+// implementation blocks.
+func (e *Engine) CommitVia(p Persister) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return p.Persist(nil) // want:lockio
+}
+
+// Background spawns the persist onto its own goroutine: the goroutine
+// does not run under the caller's lock, so the `go` statement is clean —
+// but the literal's own critical section is still scanned.
+func (e *Engine) Background() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.height++
+	go func() {
+		if err := e.persist(); err != nil {
+			return
+		}
+	}()
+}

@@ -1,0 +1,29 @@
+// Package network stubs the real network package's surface so the
+// interprocedural fixtures resolve the same source/registrar specs
+// (sebdb/internal/network.*) as the production tree.
+package network
+
+// Handler answers one request frame.
+type Handler func(payload []byte) ([]byte, error)
+
+// Client is the request/response client (trusttaint source: Call).
+type Client struct{}
+
+// Call sends one request and returns the peer's response bytes.
+func (c *Client) Call(kind uint8, payload []byte) ([]byte, error) {
+	return payload, nil
+}
+
+// Server dispatches inbound frames (trusttaint handler registrar).
+type Server struct {
+	handlers map[uint8]Handler
+}
+
+// Handle registers the handler for a frame kind; the handler's payload
+// parameter is peer-controlled.
+func (s *Server) Handle(kind uint8, h Handler) {
+	if s.handlers == nil {
+		s.handlers = make(map[uint8]Handler)
+	}
+	s.handlers[kind] = h
+}

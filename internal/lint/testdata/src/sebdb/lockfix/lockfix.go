@@ -22,6 +22,20 @@ func (c *Counter) Peek() int { // want:lockcheck
 	return c.count
 }
 
+// Snapshot takes the receiver by value: the copy — mutex included — is
+// made without the lock, so the Lock call below guards nothing.
+func (c Counter) Snapshot() int { // want:lockcheck
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Drain also takes the receiver by value and does not even pretend to
+// lock; formerly the value receiver made this escape analysis.
+func (c Counter) Drain() int { // want:lockcheck
+	return c.count
+}
+
 // Pipeline declares two guards: mu for the live state and ckptMu for
 // the checkpoint floor. Each mutex guards only its own contiguous
 // declaration group.

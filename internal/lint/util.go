@@ -9,6 +9,139 @@ import (
 	"strings"
 )
 
+// Suppression directives. This is the single implementation of
+// //sebdb:ignore-* comment parsing — analyzers never scan comments
+// themselves; RunAll collects directives here and filters findings.
+
+// directivePrefix introduces suppression comments:
+// //sebdb:ignore-<name> <reason>. The reason is mandatory — a
+// suppression nobody can justify is itself reported.
+const directivePrefix = "//sebdb:ignore-"
+
+// directiveAliases maps directive suffixes to analyzer names, so the
+// documented //sebdb:ignore-err form reaches droppederr.
+var directiveAliases = map[string]string{
+	"atomic":       "atomicwrite",
+	"atomicwrite":  "atomicwrite",
+	"err":          "droppederr",
+	"droppederr":   "droppederr",
+	"decodebounds": "decodebounds",
+	"determinism":  "determinism",
+	"lock":         "lockcheck",
+	"lockcheck":    "lockcheck",
+	"lockio":       "lockio",
+	"obsclock":     "obsclock",
+	"trusttaint":   "trusttaint",
+	"u32":          "u32trunc",
+	"u32trunc":     "u32trunc",
+}
+
+// reasonClauseRequired lists the analyzers whose suppressions must spell
+// out an explicit `reason:` clause — the interprocedural analyzers guard
+// crash-safety and trust invariants, and their audited exceptions are
+// expected to read as documentation.
+var reasonClauseRequired = map[string]bool{
+	"lockio":     true,
+	"trusttaint": true,
+}
+
+// suppression records where one directive silences one analyzer.
+type suppression struct {
+	analyzer  string
+	file      string
+	line      int // directive's own line; also silences line+1
+	from, to  int // optional declaration range (inclusive lines), 0 if none
+	reasonOK  bool
+	directive token.Position
+}
+
+// collectSuppressions gathers every directive in the package, attaching
+// declaration ranges for doc comments.
+func collectSuppressions(pkg *Package) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		// Map doc-comment positions to their declaration's line range so
+		// a directive above a func/type suppresses the whole body.
+		docRange := make(map[token.Pos][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc.Pos()] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			rng, isDoc := docRange[cg.Pos()]
+			for _, c := range cg.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s := suppression{
+					analyzer:  name,
+					file:      pos.Filename,
+					line:      pos.Line,
+					reasonOK:  reasonAccepted(name, reason),
+					directive: pos,
+				}
+				if isDoc {
+					s.from, s.to = rng[0], rng[1]
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective splits a //sebdb:ignore-<name> <reason> comment.
+func parseDirective(text string) (analyzer, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	canonical, known := directiveAliases[name]
+	if !known {
+		return "", "", false
+	}
+	return canonical, strings.TrimSpace(reason), true
+}
+
+// reasonAccepted applies the per-analyzer reason policy: every
+// suppression needs a reason, and the interprocedural analyzers need it
+// introduced by an explicit `reason:` clause.
+func reasonAccepted(analyzer, reason string) bool {
+	if reason == "" {
+		return false
+	}
+	if reasonClauseRequired[analyzer] {
+		return strings.HasPrefix(reason, "reason:") && strings.TrimSpace(strings.TrimPrefix(reason, "reason:")) != ""
+	}
+	return true
+}
+
+// suppresses reports whether s silences a finding of the given analyzer
+// at pos.
+func (s suppression) suppresses(analyzer string, pos token.Position) bool {
+	if s.analyzer != analyzer || s.file != pos.Filename {
+		return false
+	}
+	if pos.Line == s.line || pos.Line == s.line+1 {
+		return true
+	}
+	return s.from != 0 && pos.Line >= s.from && pos.Line <= s.to
+}
+
 // exprText renders an expression to canonical source text, used to
 // compare guard expressions structurally.
 func exprText(fset *token.FileSet, e ast.Expr) string {
@@ -106,6 +239,36 @@ func importsPackage(f *ast.File, path string) (localName string, ok bool) {
 		return p, true
 	}
 	return "", false
+}
+
+// baseIdentObj unwraps selectors, indexing, slicing, derefs and parens
+// to the object of the base identifier an expression is rooted in, or
+// nil when the expression is not rooted in a plain identifier.
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return object(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 // containsIdentObj reports whether the expression mentions the given

@@ -181,9 +181,11 @@ func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
 func (c *Client) Call(kind uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//sebdb:ignore-lockio reason: c.mu is the request/response serialiser for this connection — holding it across the exchange IS its job; Close stays lock-free to unblock a hung Call
 	if err := WriteFrame(c.conn, kind, payload); err != nil {
 		return nil, err
 	}
+	//sebdb:ignore-lockio reason: response read is the second half of the serialised exchange under c.mu
 	k, resp, err := ReadFrame(c.conn)
 	if err != nil {
 		return nil, err

@@ -177,6 +177,7 @@ func (n *FullNode) snapshotPayload() ([]byte, error) {
 	if n.snap.payload != nil && n.snap.man == *m {
 		return n.snap.payload, nil
 	}
+	//sebdb:ignore-lockio reason: n.snap.mu guards only the serving cache, not the engine; reading the checkpoint under it is what keeps concurrent chunk requests from re-reading the file
 	mm, payload, err := dir.Raw()
 	if err != nil {
 		return nil, err

@@ -273,6 +273,7 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//sebdb:ignore-lockio reason: the store lock is the segment-file lock — Append's contract is a durable record, so the fsync must happen under it
 	return s.appendLocked(b, true)
 }
 
@@ -288,6 +289,7 @@ func (s *Store) Append(b *types.Block) (Location, error) {
 func (s *Store) AppendNoSync(b *types.Block) (Location, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//sebdb:ignore-lockio reason: buffered append; appendLocked reaches Sync only on a segment roll, which must be atomic with respect to the segment-file lock
 	return s.appendLocked(b, false)
 }
 
@@ -301,6 +303,7 @@ func (s *Store) SyncBatch() error {
 	if !s.dirty {
 		return nil
 	}
+	//sebdb:ignore-lockio reason: the group fsync must run under the segment-file lock so no append can roll the segment out from under it
 	if err := s.cur.Sync(); err != nil {
 		return fmt.Errorf("storage: sync: %w", err)
 	}

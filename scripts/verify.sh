@@ -21,6 +21,13 @@ go vet ./...
 echo "== sebdb-vet =="
 go run ./cmd/sebdb-vet ./...
 
+echo "== sebdb-vet self-test (fixture expected-findings diff) =="
+# The lint fixtures seed one violation per analyzer (lockio/trusttaint
+# included); these tests diff sebdb-vet's findings against the fixtures'
+# want-comments and the CLI golden file, so analyzer regressions fail
+# the gate like any other bug.
+go test -count=1 ./internal/lint/... ./cmd/sebdb-vet
+
 echo "== go build =="
 go build ./...
 
