@@ -6,10 +6,11 @@
 //
 //	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] [-json PATH]
 //
-//	-fig F     regenerate only figure F: a number (7..24) or a name —
-//	           "parallel" (23, the read-pipeline scaling sweep) or
-//	           "recovery" (24, the checkpoint restart/fast-sync sweep);
-//	           default all
+//	-fig F     regenerate only figure F: a number (7..25) or a name —
+//	           "parallel" (23, the read-pipeline scaling sweep),
+//	           "recovery" (24, the checkpoint restart/fast-sync sweep)
+//	           or "readview" (25, read throughput through the
+//	           height-pinned views while commits run); default all
 //	-scale S   dataset scale relative to paper sizes (default 0.05;
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", `figure number (7-24) or name ("parallel", "recovery"); empty = all`)
+	fig := flag.String("fig", "", `figure number (7-25) or name ("parallel", "recovery", "readview"); empty = all`)
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
 	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 and commit-pipeline workers for figure 7 (0 = GOMAXPROCS)")

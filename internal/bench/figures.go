@@ -14,16 +14,17 @@ type Figure struct {
 	Run func(dir string, scale float64) (*Table, error)
 }
 
-// Figures lists every evaluation figure of the paper in order, plus two
-// of our own: 23, the parallel read pipeline's worker-scaling sweep, and
-// 24, the checkpoint subsystem's restart/fast-sync recovery sweep (the
-// paper's runs are single-threaded and replay the full chain on every
-// start).
+// Figures lists every evaluation figure of the paper in order, plus
+// three of our own: 23, the parallel read pipeline's worker-scaling
+// sweep; 24, the checkpoint subsystem's restart/fast-sync recovery
+// sweep (the paper's runs are single-threaded and replay the full chain
+// on every start); and 25, read throughput through the height-pinned
+// views while the commit pipeline runs beside the readers.
 var Figures = []Figure{
 	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
 	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
 	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
-	{22, Fig22}, {23, FigParallel}, {24, FigRecovery},
+	{22, Fig22}, {23, FigParallel}, {24, FigRecovery}, {25, FigReadView},
 }
 
 // figureNames maps the named (non-paper) figures to their numbers, so
@@ -31,10 +32,12 @@ var Figures = []Figure{
 var figureNames = map[string]int{
 	"parallel": 23,
 	"recovery": 24,
+	"readview": 25,
 }
 
 // FigureNum resolves a figure selector: either a figure number or the
-// name of one of the non-paper figures ("parallel", "recovery").
+// name of one of the non-paper figures ("parallel", "recovery",
+// "readview").
 func FigureNum(s string) (int, error) {
 	if n, err := strconv.Atoi(s); err == nil {
 		return n, nil
@@ -42,7 +45,7 @@ func FigureNum(s string) (int, error) {
 	if n, ok := figureNames[s]; ok {
 		return n, nil
 	}
-	return 0, fmt.Errorf("bench: unknown figure %q (want 7..24, \"parallel\" or \"recovery\")", s)
+	return 0, fmt.Errorf("bench: unknown figure %q (want 7..25, \"parallel\", \"recovery\" or \"readview\")", s)
 }
 
 // FigureTable regenerates one figure by number and returns its table.
@@ -56,7 +59,7 @@ func FigureTable(num int, dir string, scale float64) (*Table, error) {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: no figure %d (have 7..24)", num)
+	return nil, fmt.Errorf("bench: no figure %d (have 7..25)", num)
 }
 
 // RunFigure regenerates one figure by number and prints its table.

@@ -185,6 +185,28 @@ func same(a, b *Contract) bool {
 	return true
 }
 
+// Unregister removes a contract registration. Like schema
+// Catalog.Undefine it exists for submit-failure rollback: DeployContract
+// registers locally before the deployment transaction is packaged, and
+// a failed submit must not leave the registry ahead of the chain.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.contracts, strings.ToLower(name))
+}
+
+// Snapshot returns a point-in-time copy of the registry's contract map.
+// Contracts are immutable once parsed, so sharing the pointers is safe.
+func (r *Registry) Snapshot() map[string]*Contract {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Contract, len(r.contracts))
+	for n, c := range r.contracts {
+		out[n] = c
+	}
+	return out
+}
+
 // Get returns a deployed contract.
 func (r *Registry) Get(name string) (*Contract, error) {
 	r.mu.RLock()

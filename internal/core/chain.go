@@ -82,8 +82,9 @@ func (e *Engine) Tx(bid uint64, pos uint32) (*types.Transaction, error) {
 	return tx, nil
 }
 
-// BlockIdx returns the block-level index.
-func (e *Engine) BlockIdx() *blockindex.Index { return e.blockIdx }
+// BlockIdx returns the live block-level index (reads that need pinned
+// semantics go through CurrentView().BlockIdx() instead).
+func (e *Engine) BlockIdx() blockindex.Reader { return e.blockIdx }
 
 // TableBlocks returns the table-level bitmap for a table name or a
 // "senid:<id>" key.
@@ -92,11 +93,11 @@ func (e *Engine) TableBlocks(name string) *bitmap.Bitmap {
 }
 
 // Layered returns the layered index on table.col (or the global system
-// index for table == ""), or nil when absent.
+// index for table == ""), or nil when absent. It answers from the
+// current view's immutable map — no engine lock — so the engine's
+// exec.Chain surface is as contention-free as the view's.
 func (e *Engine) Layered(table, col string) *layered.Index {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.lidx[table+"."+col]
+	return e.CurrentView().Layered(table, col)
 }
 
 // Table resolves a table schema.
@@ -208,6 +209,9 @@ func (e *Engine) CreateIndex(table, col string) error {
 		return err
 	}
 	e.lidx[spec.key()] = idx
+	// Republish so the registration reaches readers: views snapshot the
+	// index maps, so without a new view the index would stay invisible.
+	e.publishViewLocked()
 	e.mu.Unlock()
 	return e.saveIndexMeta()
 }
@@ -293,6 +297,9 @@ func (e *Engine) CreateAuthIndex(table, col string) error {
 		return err
 	}
 	e.alis[spec.key()] = ali
+	// Republish for the same reason as CreateIndex: view membership is
+	// pinned at publish time.
+	e.publishViewLocked()
 	e.mu.Unlock()
 	return e.saveIndexMeta()
 }
@@ -321,9 +328,8 @@ func (e *Engine) backfillALI(spec indexSpec, ali *auth.ALI, lo, hi uint64) error
 		})
 }
 
-// AuthIndex returns the ALI on table.col, or nil.
+// AuthIndex returns the ALI on table.col, or nil. Like Layered it
+// answers from the current view's immutable map, lock-free.
 func (e *Engine) AuthIndex(table, col string) *auth.ALI {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.alis[table+"."+col]
+	return e.CurrentView().AuthIndex(table, col)
 }

@@ -192,18 +192,32 @@ type Engine struct {
 	ckptFloor uint64
 
 	mempool   []*types.Transaction
-	keys      map[string]ed25519.PrivateKey
 	acl       *accessctl.Controller
 	contracts *contract.Registry
+
+	// keyMu guards the sender signing keys on their own lock: signing a
+	// transaction happens on read paths' write cousins (execCreate,
+	// DeployContract, NewTransaction) and must never touch e.mu.
+	keyMu sync.RWMutex
+	keys  map[string]ed25519.PrivateKey
 
 	blockCache *cache.LRU
 	txCache    *cache.LRU
 
+	// view is the published height-pinned read snapshot (see view.go);
+	// readers Load it, the commit pipeline Stores a replacement at the
+	// end of each index window. viewEpoch numbers the publishes.
+	view      atomic.Pointer[View]
+	viewEpoch atomic.Uint64
+
 	// mPrepare, mAppend and mIndex time the commit pipeline's three
 	// stages into sebdb_stage_micros (stages commit.prepare,
 	// commit.append, commit.index), resolved once at construction so the
-	// hot path never takes the registry lock.
+	// hot path never takes the registry lock. mViewSwap and gViewEpoch
+	// track the view publish cost and the running epoch.
 	mPrepare, mAppend, mIndex *obs.Histogram
+	mViewSwap                 *obs.Histogram
+	gViewEpoch                *obs.Gauge
 }
 
 // Open opens (creating if needed) an engine over cfg.Dir and rebuilds
@@ -315,27 +329,33 @@ func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
 	if err := e.loadIndexMeta(); err != nil {
 		return nil, err
 	}
+	// Publish the recovered state as the first real view: replay does not
+	// publish per block (nobody can read mid-recovery), so this is where
+	// readers first see the chain.
+	e.publishView()
 	return e, nil
 }
 
 // newEngine builds the in-memory engine shell over an opened store.
 func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 	e := &Engine{
-		cfg:       cfg,
-		store:     st,
-		catalog:   schema.NewCatalog(),
-		offDB:     rdbms.New(),
-		blockIdx:  blockindex.New(),
-		tableIdx:  bitmap.NewTableIndex(),
-		lidx:      make(map[string]*layered.Index),
-		alis:      make(map[string]*auth.ALI),
-		keys:      make(map[string]ed25519.PrivateKey),
-		acl:       accessctl.New(),
-		contracts: contract.NewRegistry(),
-		snapDir:   snapDir,
-		mPrepare:  cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.prepare"}`),
-		mAppend:   cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.append"}`),
-		mIndex:    cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.index"}`),
+		cfg:        cfg,
+		store:      st,
+		catalog:    schema.NewCatalog(),
+		offDB:      rdbms.New(),
+		blockIdx:   blockindex.New(),
+		tableIdx:   bitmap.NewTableIndex(),
+		lidx:       make(map[string]*layered.Index),
+		alis:       make(map[string]*auth.ALI),
+		keys:       make(map[string]ed25519.PrivateKey),
+		acl:        accessctl.New(),
+		contracts:  contract.NewRegistry(),
+		snapDir:    snapDir,
+		mPrepare:   cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.prepare"}`),
+		mAppend:    cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.append"}`),
+		mIndex:     cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.index"}`),
+		mViewSwap:  cfg.Obs.Histogram("sebdb_view_swap_micros"),
+		gViewEpoch: cfg.Obs.Gauge("sebdb_view_epoch"),
 	}
 	e.par.Store(int32(cfg.Parallelism))
 	switch cfg.CacheMode {
@@ -350,6 +370,10 @@ func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 	// A checkpoint restore replaces them with the serialised state.
 	e.lidx[".senid"] = layered.NewDiscrete("senid")
 	e.lidx[".tname"] = layered.NewDiscrete("tname")
+	// Install an empty view so CurrentView never returns nil; the real
+	// one is published once recovery has rebuilt the derived state. The
+	// shell is not shared yet, so no lock is needed.
+	e.view.Store(e.buildView(0))
 	return e
 }
 
@@ -422,9 +446,36 @@ func (e *Engine) Obs() *obs.Registry { return e.cfg.Obs }
 // RegisterKey associates a sender identity with a signing key; Submit
 // and Execute sign transactions from that sender.
 func (e *Engine) RegisterKey(sender string, key ed25519.PrivateKey) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
 	e.keys[sender] = key
+}
+
+// signFor signs tx with sender's registered key, if any. It is the one
+// signing block shared by NewTransaction, execCreate and
+// DeployContract; it takes only keyMu, never e.mu.
+func (e *Engine) signFor(tx *types.Transaction, sender string) {
+	e.keyMu.RLock()
+	key, ok := e.keys[sender]
+	e.keyMu.RUnlock()
+	if ok {
+		tx.Sign(key)
+	}
+}
+
+// txCommitted reports whether tx landed on the chain: a committed
+// transaction has a Tid assigned at or below the commit cursor. The DDL
+// rollback paths use it to distinguish an append failure (tx never
+// committed — roll the local registration back) from a sync failure
+// after the commit (tx is chain state — keep the registration).
+func (e *Engine) txCommitted(tx *types.Transaction) bool {
+	if tx.Tid == 0 {
+		return false
+	}
+	e.mu.RLock()
+	last := e.lastTid
+	e.mu.RUnlock()
+	return tx.Tid <= last
 }
 
 // NewTransaction builds (and signs, when the sender has a registered
@@ -445,12 +496,7 @@ func (e *Engine) NewTransaction(sender, tname string, args []types.Value) (*type
 		Tname: tbl.Name,
 		Args:  vals,
 	}
-	e.mu.RLock()
-	key, ok := e.keys[sender]
-	e.mu.RUnlock()
-	if ok {
-		tx.Sign(key)
-	}
+	e.signFor(tx, sender)
 	return tx, nil
 }
 
@@ -560,6 +606,7 @@ func (e *Engine) commitOne(txs []*types.Transaction, ts int64, syncNow bool) (*t
 		return nil, nil, err
 	}
 	ck := e.maybeBuildCheckpointLocked()
+	e.publishViewLocked()
 	e.mu.Unlock()
 	e.mAppend.Observe(appended - prepared)
 	e.mIndex.Observe(e.cfg.Obs.Now() - appended)
@@ -656,6 +703,7 @@ func (e *Engine) applyOne(b *types.Block) (*snapshot.Checkpoint, error) {
 		return nil, err
 	}
 	ck := e.maybeBuildCheckpointLocked()
+	e.publishViewLocked()
 	e.mu.Unlock()
 	e.mAppend.Observe(appended - prepared)
 	e.mIndex.Observe(e.cfg.Obs.Now() - appended)

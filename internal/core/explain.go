@@ -31,18 +31,20 @@ func (e *Engine) Explain(sql string) (*Result, error) {
 }
 
 // explainSelect reports the plan.Choose decision for one on-chain
-// SELECT without executing it.
+// SELECT without executing it, planning against the current view just
+// as execSelect would.
 func (e *Engine) explainSelect(s *sqlparser.Select) (*Result, error) {
-	if !e.catalog.Has(s.Table.Name) || s.Table.Chain == sqlparser.ChainOff {
+	v := e.CurrentView()
+	if !v.HasTable(s.Table.Name) || s.Table.Chain == sqlparser.ChainOff {
 		return nil, fmt.Errorf("core: EXPLAIN supports on-chain tables")
 	}
-	tbl, err := e.catalog.Lookup(s.Table.Name)
+	tbl, err := v.Table(s.Table.Name)
 	if err != nil {
 		return nil, err
 	}
-	n := e.NumBlocks()
-	k := e.TableBlocks(tbl.Name).Count()
-	p, hasLayered := e.estimateLayered(tbl, s.Where)
+	n := v.NumBlocks()
+	k := v.TableBlocks(tbl.Name).Count()
+	p, hasLayered := v.estimateLayered(tbl, s.Where)
 	if !hasLayered {
 		p = -1
 	}

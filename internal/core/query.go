@@ -56,7 +56,7 @@ func (e *Engine) executeStmt(ctx context.Context, sender string, st sqlparser.St
 	case *sqlparser.Trace:
 		return e.execTrace(ctx, s)
 	case *sqlparser.GetBlock:
-		return e.execGetBlock(s)
+		return e.execGetBlock(ctx, s)
 	case *sqlparser.Explain:
 		return e.execExplain(ctx, sender, s)
 	default:
@@ -65,7 +65,11 @@ func (e *Engine) executeStmt(ctx context.Context, sender string, st sqlparser.St
 }
 
 // execCreate registers the table locally and emits the schema-sync
-// transaction so peers replay the same DDL (§IV-A).
+// transaction so peers replay the same DDL (§IV-A). The registration
+// precedes the submit — the deploying node must see its own table at
+// once — so a failed submit rolls it back; without the rollback the
+// local catalog would claim a table the chain never defines, forever
+// diverging from every peer.
 func (e *Engine) execCreate(sender string, s *sqlparser.CreateTable) (*Result, error) {
 	tbl, err := schema.NewTable(s.Name, s.Columns)
 	if err != nil {
@@ -74,19 +78,21 @@ func (e *Engine) execCreate(sender string, s *sqlparser.CreateTable) (*Result, e
 	if err := e.catalog.Define(tbl); err != nil {
 		return nil, err
 	}
+	e.publishView()
 	tx := &types.Transaction{
 		Ts:    e.nowMicro(),
 		SenID: sender,
 		Tname: schema.MetaTable,
 		Args:  tbl.EncodeDDL(),
 	}
-	e.mu.RLock()
-	key, ok := e.keys[sender]
-	e.mu.RUnlock()
-	if ok {
-		tx.Sign(key)
-	}
+	e.signFor(tx, sender)
 	if err := e.Submit(tx); err != nil {
+		// A sync failure after the block committed leaves the tx on chain;
+		// only roll back when it never made it.
+		if !e.txCommitted(tx) {
+			e.catalog.Undefine(tbl.Name)
+			e.publishView()
+		}
 		return nil, err
 	}
 	return &Result{Columns: []string{"status"}, Rows: [][]types.Value{{types.Str("created " + tbl.Name)}}}, nil
@@ -111,33 +117,6 @@ func (e *Engine) execInsert(sender string, s *sqlparser.Insert, params []types.V
 	return &Result{Columns: []string{"status"}, Rows: [][]types.Value{{types.Str("queued")}}}, nil
 }
 
-// estimateLayered estimates the result size p of driving the layered
-// index with pred, by counting second-level matches (index-only, no
-// transaction reads), capped to keep planning cheap.
-func (e *Engine) estimateLayered(tbl *schema.Table, preds []sqlparser.Pred) (int, bool) {
-	const cap = 200_000
-	for _, p := range preds {
-		idx := e.Layered(tbl.Name, p.Col)
-		if idx == nil {
-			continue
-		}
-		lo, hi, exact := predBoundsOf(p)
-		if !exact {
-			continue
-		}
-		total := 0
-		idx.CandidateBlocks(lo, hi).ForEach(func(bid int) bool {
-			idx.BlockRange(uint64(bid), lo, hi, func(types.Value, uint32) bool {
-				total++
-				return total < cap
-			})
-			return total < cap
-		})
-		return total, true
-	}
-	return -1, false
-}
-
 func predBoundsOf(p sqlparser.Pred) (types.Value, types.Value, bool) {
 	switch p.Op {
 	case sqlparser.OpEq:
@@ -149,9 +128,13 @@ func predBoundsOf(p sqlparser.Pred) (types.Value, types.Value, bool) {
 	}
 }
 
-// execSelect plans and runs a single-table query, on or off chain.
+// execSelect plans and runs a single-table query, on or off chain. The
+// whole statement — planning, execution, projection — runs against one
+// pinned view, so it touches no engine lock and a concurrent commit
+// can never shift the height mid-query.
 func (e *Engine) execSelect(ctx context.Context, s *sqlparser.Select) (*Result, error) {
-	onChain := e.catalog.Has(s.Table.Name)
+	v := e.pinView(ctx)
+	onChain := v.HasTable(s.Table.Name)
 	switch s.Table.Chain {
 	case sqlparser.ChainOn:
 		if !onChain {
@@ -168,14 +151,14 @@ func (e *Engine) execSelect(ctx context.Context, s *sqlparser.Select) (*Result, 
 		return e.selectOffChain(s)
 	}
 
-	tbl, err := e.catalog.Lookup(s.Table.Name)
+	tbl, err := v.Table(s.Table.Name)
 	if err != nil {
 		return nil, err
 	}
 	_, planSp := obs.StartSpan(ctx, "plan")
-	n := e.NumBlocks()
-	k := e.TableBlocks(tbl.Name).Count()
-	p, hasLayered := e.estimateLayered(tbl, s.Where)
+	n := v.NumBlocks()
+	k := v.TableBlocks(tbl.Name).Count()
+	p, hasLayered := v.estimateLayered(tbl, s.Where)
 	if !hasLayered {
 		p = -1
 	}
@@ -184,7 +167,7 @@ func (e *Engine) execSelect(ctx context.Context, s *sqlparser.Select) (*Result, 
 	planSp.SetCounter("table_blocks", int64(k))
 	planSp.SetCounter("est_rows", int64(p))
 	planSp.Finish()
-	txs, _, err := exec.SelectCtx(ctx, e, tbl.Name, s.Where, s.Window, choice.Method)
+	txs, _, err := exec.SelectCtx(ctx, v, tbl.Name, s.Where, s.Window, choice.Method)
 	if err != nil {
 		return nil, err
 	}
@@ -350,9 +333,10 @@ func (e *Engine) projectTxs(tbl *schema.Table, cols []string, txs []*types.Trans
 }
 
 // execTrace runs the track-trace operation; the global system-column
-// indexes always exist, so the layered path of Algorithm 1 is used.
+// indexes always exist, so the layered path of Algorithm 1 is used. It
+// runs against a pinned view like execSelect.
 func (e *Engine) execTrace(ctx context.Context, s *sqlparser.Trace) (*Result, error) {
-	txs, _, err := exec.TrackCtx(ctx, e, s, exec.MethodLayered)
+	txs, _, err := exec.TrackCtx(ctx, e.pinView(ctx), s, exec.MethodLayered)
 	if err != nil {
 		return nil, err
 	}
@@ -366,32 +350,34 @@ func (e *Engine) execTrace(ctx context.Context, s *sqlparser.Trace) (*Result, er
 	return res, nil
 }
 
-// execJoin dispatches on-chain vs on-off-chain joins.
+// execJoin dispatches on-chain vs on-off-chain joins, both sides over
+// one pinned view.
 func (e *Engine) execJoin(ctx context.Context, s *sqlparser.Join) (*Result, error) {
-	leftOn := s.Left.Chain != sqlparser.ChainOff && e.catalog.Has(s.Left.Name)
-	rightOn := s.Right.Chain != sqlparser.ChainOff && e.catalog.Has(s.Right.Name)
+	v := e.pinView(ctx)
+	leftOn := s.Left.Chain != sqlparser.ChainOff && v.HasTable(s.Left.Name)
+	rightOn := s.Right.Chain != sqlparser.ChainOff && v.HasTable(s.Right.Name)
 
 	switch {
 	case leftOn && rightOn:
 		m := exec.MethodBitmap
-		if e.Layered(s.Left.Name, s.LeftCol) != nil && e.Layered(s.Right.Name, s.RightCol) != nil {
+		if v.Layered(s.Left.Name, s.LeftCol) != nil && v.Layered(s.Right.Name, s.RightCol) != nil {
 			m = exec.MethodLayered
 		}
-		rows, _, err := exec.OnChainJoinCtx(ctx, e, s.Left.Name, s.Right.Name, s.LeftCol, s.RightCol, s.Window, m)
+		rows, _, err := exec.OnChainJoinCtx(ctx, v, s.Left.Name, s.Right.Name, s.LeftCol, s.RightCol, s.Window, m)
 		if err != nil {
 			return nil, err
 		}
-		return e.projectJoin(s, rows)
+		return e.projectJoin(v, s, rows)
 	case leftOn && !rightOn:
 		m := exec.MethodBitmap
-		if e.Layered(s.Left.Name, s.LeftCol) != nil {
+		if v.Layered(s.Left.Name, s.LeftCol) != nil {
 			m = exec.MethodLayered
 		}
-		rows, _, err := exec.OnOffJoinCtx(ctx, e, e.offDB, s.Left.Name, s.LeftCol, s.Right.Name, s.RightCol, s.Window, m)
+		rows, _, err := exec.OnOffJoinCtx(ctx, v, e.offDB, s.Left.Name, s.LeftCol, s.Right.Name, s.RightCol, s.Window, m)
 		if err != nil {
 			return nil, err
 		}
-		return e.projectOnOff(s.Left.Name, s.Right.Name, rows)
+		return e.projectOnOff(v, s.Left.Name, s.Right.Name, rows)
 	case !leftOn && rightOn:
 		// Normalise to on-chain ⋈ off-chain.
 		flipped := &sqlparser.Join{
@@ -405,12 +391,12 @@ func (e *Engine) execJoin(ctx context.Context, s *sqlparser.Join) (*Result, erro
 	}
 }
 
-func (e *Engine) projectJoin(s *sqlparser.Join, rows []exec.JoinRow) (*Result, error) {
-	lt, err := e.catalog.Lookup(s.Left.Name)
+func (e *Engine) projectJoin(v *View, s *sqlparser.Join, rows []exec.JoinRow) (*Result, error) {
+	lt, err := v.Table(s.Left.Name)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := e.catalog.Lookup(s.Right.Name)
+	rt, err := v.Table(s.Right.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -443,8 +429,8 @@ func (e *Engine) projectJoin(s *sqlparser.Join, rows []exec.JoinRow) (*Result, e
 	return res, nil
 }
 
-func (e *Engine) projectOnOff(onName, offName string, rows []exec.OnOffRow) (*Result, error) {
-	tbl, err := e.catalog.Lookup(onName)
+func (e *Engine) projectOnOff(v *View, onName, offName string, rows []exec.OnOffRow) (*Result, error) {
+	tbl, err := v.Table(onName)
 	if err != nil {
 		return nil, err
 	}
@@ -476,27 +462,29 @@ func (e *Engine) projectOnOff(onName, offName string, rows []exec.OnOffRow) (*Re
 }
 
 // execGetBlock implements GET BLOCK ID|TID|TS=? (Q7) through the
-// block-level index.
-func (e *Engine) execGetBlock(s *sqlparser.GetBlock) (*Result, error) {
+// pinned view's block-level index.
+func (e *Engine) execGetBlock(ctx context.Context, s *sqlparser.GetBlock) (*Result, error) {
 	// Block ids and Tids are unsigned; a negative literal would wrap to
 	// a huge id under the uint64 conversion instead of failing.
 	if s.Val < 0 && s.By != sqlparser.ByTs {
 		return nil, fmt.Errorf("core: GET BLOCK ID/TID must be non-negative, got %d", s.Val)
 	}
+	v := e.pinView(ctx)
+	bidx := v.BlockIdx()
 	var bid uint64
 	var ok bool
 	switch s.By {
 	case sqlparser.ByID:
-		bid, ok = uint64(s.Val), e.blockIdx.ByBlockID(uint64(s.Val))
+		bid, ok = uint64(s.Val), bidx.ByBlockID(uint64(s.Val))
 	case sqlparser.ByTid:
-		bid, ok = e.blockIdx.ByTid(uint64(s.Val))
+		bid, ok = bidx.ByTid(uint64(s.Val))
 	case sqlparser.ByTs:
-		bid, ok = e.blockIdx.ByTime(s.Val)
+		bid, ok = bidx.ByTime(s.Val)
 	}
 	if !ok {
 		return nil, fmt.Errorf("core: no block for %v", s.Val)
 	}
-	b, err := e.Block(bid)
+	b, err := v.Block(bid)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +536,9 @@ func (e *Engine) checkAccess(sender string, st sqlparser.Statement) error {
 // DeployContract validates a smart contract and submits its deployment
 // transaction, registering it locally at once (like DDL, deployment is
 // visible immediately on the deploying node and replays everywhere
-// else when the block propagates).
+// else when the block propagates). A failed submit rolls the local
+// registration back — unless the block actually committed and only the
+// fsync failed, in which case the contract is chain state and stays.
 func (e *Engine) DeployContract(sender, name string, statements []string) error {
 	c, err := contract.Parse(name, statements)
 	if err != nil {
@@ -557,19 +547,22 @@ func (e *Engine) DeployContract(sender, name string, statements []string) error 
 	if err := e.contracts.Register(c); err != nil {
 		return err
 	}
+	e.publishView()
 	tx := &types.Transaction{
 		Ts:    e.nowMicro(),
 		SenID: sender,
 		Tname: contract.MetaTable,
 		Args:  c.EncodeDeploy(),
 	}
-	e.mu.RLock()
-	key, ok := e.keys[sender]
-	e.mu.RUnlock()
-	if ok {
-		tx.Sign(key)
+	e.signFor(tx, sender)
+	if err := e.Submit(tx); err != nil {
+		if !e.txCommitted(tx) {
+			e.contracts.Unregister(c.Name)
+			e.publishView()
+		}
+		return err
 	}
-	return e.Submit(tx)
+	return nil
 }
 
 // Contracts returns the node's deployed-contract registry.

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sebdb/internal/auth"
+	"sebdb/internal/clock"
+	"sebdb/internal/exec"
+	"sebdb/internal/faultfs"
+	"sebdb/internal/types"
+)
+
+// TestViewPinnedBeforeCommitServesOldHeight is the tentpole's regression
+// anchor: a view pinned before a run of commits keeps answering at its
+// own height — same block count, same rows — while the engine's current
+// view moves on.
+func TestViewPinnedBeforeCommitServesOldHeight(t *testing.T) {
+	e := testEngine(t, Config{BlockMaxTxs: 4, Clock: clock.Fixed(1)})
+	seedDonation(t, e, 20, 4)
+
+	v := e.CurrentView()
+	h0, epoch0 := v.Height(), v.Epoch()
+	if h0 != e.Height() {
+		t.Fatalf("pinned view height %d, engine height %d", h0, e.Height())
+	}
+	txs, _, err := exec.Select(v, "donate", nil, nil, exec.MethodBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 20 {
+		t.Fatalf("pinned view served %d rows, want 20", len(txs))
+	}
+
+	for i := 20; i < 40; i += 4 {
+		batch := make([]*types.Transaction, 4)
+		for j := range batch {
+			batch[j] = donateTx(t, e, i+j)
+		}
+		if _, err := e.CommitBlock(batch, int64(i+4)*1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cur := e.CurrentView()
+	if cur.Height() != h0+5 {
+		t.Errorf("current view height %d, want %d", cur.Height(), h0+5)
+	}
+	if cur.Epoch() <= epoch0 {
+		t.Errorf("epoch did not advance: pinned %d, current %d", epoch0, cur.Epoch())
+	}
+	// The old view is frozen: height, block bound and served rows.
+	if v.Height() != h0 || v.NumBlocks() != int(h0) {
+		t.Errorf("pinned view moved: height %d, blocks %d, want %d", v.Height(), v.NumBlocks(), h0)
+	}
+	if _, err := v.Block(h0); err == nil {
+		t.Error("pinned view served a block beyond its height")
+	}
+	txs, _, err = exec.Select(v, "donate", nil, nil, exec.MethodBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 20 {
+		t.Errorf("pinned view served %d rows after commits, want 20", len(txs))
+	}
+	txs, _, err = exec.Select(cur, "donate", nil, nil, exec.MethodBitmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 40 {
+		t.Errorf("current view served %d rows, want 40", len(txs))
+	}
+}
+
+// TestViewPinsIndexMembership pins the membership rule: an index created
+// after a view was published is not visible through it, while the next
+// published view carries it.
+func TestViewPinsIndexMembership(t *testing.T) {
+	e := testEngine(t, Config{BlockMaxTxs: 4, Clock: clock.Fixed(1)})
+	seedDonation(t, e, 8, 4)
+
+	before := e.CurrentView()
+	if err := e.CreateIndex("donate", "amount"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateAuthIndex("donate", "amount"); err != nil {
+		t.Fatal(err)
+	}
+	if before.Layered("donate", "amount") != nil || before.AuthIndex("donate", "amount") != nil {
+		t.Error("index created after the pin is visible through the old view")
+	}
+	after := e.CurrentView()
+	if after.Layered("donate", "amount") == nil || after.AuthIndex("donate", "amount") == nil {
+		t.Error("index creation did not republish the view")
+	}
+}
+
+// rehearseMutationWindow opens a throwaway engine, runs setup, counts
+// the injector ops consumed, then runs act and returns the half-open
+// mutation window [m0, m1) that act's filesystem writes occupy. Crash
+// runs replay the same sequence against a fresh directory, so pinning
+// OpsBeforeCrash inside the window lands the crash inside act.
+func rehearseMutationWindow(t *testing.T, setup, act func(e *Engine)) (m0, m1 int) {
+	t.Helper()
+	inj := faultfs.New(faultfs.Options{OpsBeforeCrash: -1})
+	e := testEngine(t, Config{BlockMaxTxs: 1, FS: inj, Clock: clock.Fixed(1)})
+	setup(e)
+	m0 = inj.Mutations()
+	act(e)
+	m1 = inj.Mutations()
+	if m1 <= m0 {
+		t.Fatalf("rehearsal: act performed no mutations (window [%d, %d))", m0, m1)
+	}
+	return m0, m1
+}
+
+// TestCreateRollsBackWhenAppendFails forces the block append under
+// execCreate's submit to fail at every possible write and checks the
+// local registration is rolled back each time: the catalog would
+// otherwise claim a table the chain never defines.
+func TestCreateRollsBackWhenAppendFails(t *testing.T) {
+	const ddl = `CREATE donate (donor string, project string, amount decimal)`
+	m0, m1 := rehearseMutationWindow(t,
+		func(e *Engine) {},
+		func(e *Engine) { mustExec(t, e, ddl) })
+
+	for k := m0; k < m1; k++ {
+		inj := faultfs.New(faultfs.Options{OpsBeforeCrash: k})
+		e := testEngine(t, Config{BlockMaxTxs: 1, FS: inj, Clock: clock.Fixed(1)})
+		if _, err := e.Execute(ddl); err == nil {
+			t.Fatalf("k=%d: CREATE succeeded through a crashed append", k)
+		}
+		if e.catalog.Has("donate") {
+			t.Errorf("k=%d: catalog still defines the table after the failed submit", k)
+		}
+		if e.CurrentView().HasTable("donate") {
+			t.Errorf("k=%d: published view still serves the table after the rollback", k)
+		}
+	}
+}
+
+// TestDeployContractRollsBackWhenAppendFails is the contract analog:
+// a deployment whose transaction never reaches the chain must leave the
+// registry (and the published view) without the contract.
+func TestDeployContractRollsBackWhenAppendFails(t *testing.T) {
+	statements := []string{`INSERT INTO donate ($sender, $1, $2)`}
+	setup := func(e *Engine) {
+		mustExec(t, e, `CREATE donate (donor string, project string, amount decimal)`)
+	}
+	m0, m1 := rehearseMutationWindow(t, setup,
+		func(e *Engine) {
+			if err := e.DeployContract("charity", "give", statements); err != nil {
+				t.Fatal(err)
+			}
+		})
+
+	for k := m0; k < m1; k++ {
+		inj := faultfs.New(faultfs.Options{OpsBeforeCrash: k})
+		e := testEngine(t, Config{BlockMaxTxs: 1, FS: inj, Clock: clock.Fixed(1)})
+		setup(e)
+		if err := e.DeployContract("charity", "give", statements); err == nil {
+			t.Fatalf("k=%d: deployment succeeded through a crashed append", k)
+		}
+		if _, err := e.contracts.Get("give"); err == nil {
+			t.Errorf("k=%d: registry still holds the contract after the failed submit", k)
+		}
+		if _, err := e.CurrentView().Contract("give"); err == nil {
+			t.Errorf("k=%d: published view still serves the contract after the rollback", k)
+		}
+	}
+}
+
+// TestCreateKeptWhenOnlyFsyncFails pins the other half of the rollback
+// condition: when the block committed and only the group fsync failed,
+// the transaction is on the chain, so the local registration must stay
+// — rolling it back would diverge from what every peer replays.
+func TestCreateKeptWhenOnlyFsyncFails(t *testing.T) {
+	inj := faultfs.New(faultfs.Options{OpsBeforeCrash: -1, SyncErrors: true})
+	e := testEngine(t, Config{BlockMaxTxs: 1, Sync: true, FS: inj, Clock: clock.Fixed(1)})
+
+	if _, err := e.Execute(`CREATE donate (donor string, project string, amount decimal)`); err == nil {
+		t.Fatal("CREATE reported success despite the failed fsync")
+	}
+	if !e.catalog.Has("donate") {
+		t.Error("committed table was rolled back on a sync-only failure")
+	}
+	if !e.CurrentView().HasTable("donate") {
+		t.Error("published view lost the committed table")
+	}
+	if e.Height() != 1 {
+		t.Errorf("height = %d, want 1 (the DDL block committed)", e.Height())
+	}
+
+	if err := e.DeployContract("charity", "give", []string{`INSERT INTO donate ($sender, $1, $2)`}); err == nil {
+		t.Fatal("deployment reported success despite the failed fsync")
+	}
+	if _, err := e.contracts.Get("give"); err != nil {
+		t.Error("committed contract was rolled back on a sync-only failure")
+	}
+	if _, err := e.CurrentView().Contract("give"); err != nil {
+		t.Error("published view lost the committed contract")
+	}
+}
+
+// TestViewReadStressSingleHeight hammers the read paths — SELECT,
+// TRACE, EXPLAIN and thin-client VO generation — against an engine
+// that is simultaneously committing blocks and building checkpoints.
+// Every reader pins views and demands answers exactly consistent with
+// one published height; run with -race this is the tentpole's
+// lock-discipline and torn-read regression test.
+func TestViewReadStressSingleHeight(t *testing.T) {
+	e := testEngine(t, Config{BlockMaxTxs: 4, Parallelism: 4, CheckpointInterval: 5, Clock: clock.Fixed(1)})
+	seedDonation(t, e, 20, 4)
+	if err := e.CreateIndex("donate", "amount"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateAuthIndex("donate", "amount"); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 40
+	base := e.Height()
+	// Row count as a function of height: blocks past the seed hold 4
+	// donate rows each.
+	rowsAt := func(h uint64) int {
+		if h < base {
+			t.Fatalf("observed height %d below the seeded base %d", h, base)
+		}
+		return 20 + 4*int(h-base)
+	}
+	// org1 donations among the first n rows (donateTx assigns org i%3).
+	traceAt := func(n int) int { return (n + 1) / 3 }
+	// The set of legal whole-statement answers: any published height.
+	validRows := make(map[int]bool)
+	validTrace := make(map[int]bool)
+	for h := base; h <= base+rounds; h++ {
+		validRows[rowsAt(h)] = true
+		validTrace[traceAt(rowsAt(h))] = true
+	}
+
+	done := make(chan struct{})
+	var writers, readers sync.WaitGroup
+
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < rounds; i++ {
+			batch := make([]*types.Transaction, 4)
+			for j := range batch {
+				batch[j] = donateTx(t, e, 20+i*4+j)
+			}
+			if _, err := e.CommitBlock(batch, int64(21+i)*1000); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastHeight uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// A pinned view answers exactly at its own height, and
+				// published heights are monotone per reader.
+				v := e.CurrentView()
+				if v.Height() < lastHeight {
+					t.Errorf("view height went backwards: %d after %d", v.Height(), lastHeight)
+					return
+				}
+				lastHeight = v.Height()
+				txs, _, err := exec.Select(v, "donate", nil, nil, exec.MethodBitmap)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := rowsAt(v.Height()); len(txs) != want {
+					t.Errorf("view at height %d served %d rows, want %d", v.Height(), len(txs), want)
+					return
+				}
+				// Whole statements pin their own views; their answers must
+				// match some published height.
+				res, err := e.Execute(`SELECT * FROM donate WHERE amount >= 0`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !validRows[len(res.Rows)] {
+					t.Errorf("SELECT answered %d rows — no published height serves that", len(res.Rows))
+					return
+				}
+				res, err = e.Execute(`TRACE OPERATOR = "org1"`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !validTrace[len(res.Rows)] {
+					t.Errorf("TRACE answered %d rows — no published height serves that", len(res.Rows))
+					return
+				}
+				if _, err := e.Execute(`EXPLAIN SELECT * FROM donate WHERE amount BETWEEN 3 AND 40`); err != nil {
+					t.Error(err)
+					return
+				}
+				// Thin-client VO generation from a pinned view: the answer
+				// verifies and covers exactly the pinned height's rows.
+				v = e.CurrentView()
+				ali := v.AuthIndex("donate", "amount")
+				if ali == nil {
+					t.Error("view lost the ALI")
+					return
+				}
+				lo, hi := types.Dec(0), types.Dec(1_000_000)
+				ans := auth.Serve(ali, v.Height(), nil, lo, hi)
+				digest, txs2, err := auth.VerifyAnswer(ans, lo, hi)
+				if err != nil {
+					t.Errorf("VO verification failed: %v", err)
+					return
+				}
+				if want := rowsAt(v.Height()); len(txs2) != want {
+					t.Errorf("VO at height %d carried %d rows, want %d", v.Height(), len(txs2), want)
+					return
+				}
+				if digest != auth.Digest(ali, v.Height(), nil, lo, hi) {
+					t.Error("VO digest diverges from the auxiliary digest at the same height")
+					return
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := e.CurrentView().Height(); got != base+rounds {
+		t.Errorf("final view height %d, want %d", got, base+rounds)
+	}
+}

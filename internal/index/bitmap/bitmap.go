@@ -16,6 +16,24 @@ type Bitmap struct {
 // New returns an empty bitmap.
 func New() *Bitmap { return &Bitmap{} }
 
+// Upto returns a bitmap with bits [0, n) set — the height mask a
+// pinned read view intersects live index results with. It fills whole
+// words instead of looping per bit.
+func Upto(n int) *Bitmap {
+	b := &Bitmap{}
+	if n <= 0 {
+		return b
+	}
+	b.words = make([]uint64, (n+63)>>6)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if r := uint(n) & 63; r != 0 {
+		b.words[len(b.words)-1] = 1<<r - 1
+	}
+	return b
+}
+
 // Set sets bit i, growing the bitmap as needed.
 func (b *Bitmap) Set(i int) {
 	w := i >> 6

@@ -1,0 +1,97 @@
+package blockindex
+
+import (
+	"sebdb/internal/index/bitmap"
+)
+
+// Reader is the read surface of the block-level index, implemented by
+// the live *Index and by *Pinned, its height-pinned view. The query
+// operators depend on Reader so a read pinned to height h never
+// observes blocks a concurrent commit appends at h and beyond.
+type Reader interface {
+	// Count returns the number of visible blocks.
+	Count() uint64
+	// ByBlockID reports whether block bid is visible.
+	ByBlockID(bid uint64) bool
+	// ByTid returns the visible block containing transaction tid.
+	ByTid(tid uint64) (uint64, bool)
+	// ByTime returns the newest visible block packaged at or before ts.
+	ByTime(ts int64) (uint64, bool)
+	// TimeWindow returns a bitmap of the visible blocks packaged within
+	// [start, end]; a zero end means "no upper bound".
+	TimeWindow(start, end int64) *bitmap.Bitmap
+	// AllBlocks returns a bitmap with every visible block set.
+	AllBlocks() *bitmap.Bitmap
+}
+
+// Pinned is a Reader over the first height blocks of a live Index. It
+// holds no lock of its own: the live index only ever gains state for
+// blocks at or beyond the pin height (bids, first-tids and block
+// timestamps all grow monotonically), so masking every answer to
+// [0, height) yields exactly the index as it was when the pin was
+// taken.
+type Pinned struct {
+	idx    *Index
+	height uint64
+	// lastTid is the largest transaction id of the pinned prefix; tids
+	// beyond it belong to blocks outside the view.
+	lastTid uint64
+	// mask has bits [0, height) set. It is shared and read-only: And
+	// reads only its operand's words, so concurrent pins of the same
+	// view may intersect against it freely.
+	mask *bitmap.Bitmap
+}
+
+// Pin returns a Reader over the first height blocks of idx. lastTid is
+// the largest transaction id committed within that prefix and mask must
+// have exactly bits [0, height) set; callers snapshot both under the
+// same lock that made height stable.
+func Pin(idx *Index, height, lastTid uint64, mask *bitmap.Bitmap) *Pinned {
+	return &Pinned{idx: idx, height: height, lastTid: lastTid, mask: mask}
+}
+
+// Count returns the pinned height.
+func (p *Pinned) Count() uint64 { return p.height }
+
+// ByBlockID reports whether bid is inside the pinned prefix.
+func (p *Pinned) ByBlockID(bid uint64) bool { return bid < p.height }
+
+// ByTid returns the pinned block containing transaction tid.
+func (p *Pinned) ByTid(tid uint64) (uint64, bool) {
+	if tid > p.lastTid {
+		return 0, false
+	}
+	bid, ok := p.idx.ByTid(tid)
+	if !ok || bid >= p.height {
+		// tid <= lastTid pins the floor inside the prefix; the bid check
+		// is a belt-and-braces guard, not a reachable branch.
+		return 0, false
+	}
+	return bid, true
+}
+
+// ByTime returns the newest pinned block packaged at or before ts. When
+// the live floor lands beyond the pin, block timestamps being monotonic
+// means every pinned block was packaged at or before ts too, so the
+// newest pinned block is the answer.
+func (p *Pinned) ByTime(ts int64) (uint64, bool) {
+	bid, ok := p.idx.ByTime(ts)
+	if !ok {
+		return 0, false
+	}
+	if bid >= p.height {
+		if p.height == 0 {
+			return 0, false
+		}
+		bid = p.height - 1
+	}
+	return bid, true
+}
+
+// TimeWindow returns the pinned blocks packaged within [start, end].
+func (p *Pinned) TimeWindow(start, end int64) *bitmap.Bitmap {
+	return p.idx.TimeWindow(start, end).And(p.mask)
+}
+
+// AllBlocks returns a bitmap of the whole pinned prefix.
+func (p *Pinned) AllBlocks() *bitmap.Bitmap { return p.mask.Clone() }

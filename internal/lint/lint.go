@@ -43,6 +43,8 @@ func Analyzers() []*Analyzer {
 		LockCheck,
 		LockIO,
 		Obsclock,
+		ReadLock,
+		Shadowbuiltin,
 		TrustTaint,
 		U32Trunc,
 	}
@@ -63,6 +65,7 @@ func RunAll(pkgs []*Package) []Finding {
 	graph := callgraph.Build(fset, cgPkgs)
 	ioReach := graph.Reaches(func(fn *types.Func) bool { return matchSpec(lockIOSinks, fn) })
 	taint := newTrustTaint(graph, pkgs)
+	rlock := newReadLock(graph, pkgs)
 
 	var out []Finding
 	for _, pkg := range pkgs {
@@ -84,6 +87,7 @@ func RunAll(pkgs []*Package) []Finding {
 		}
 		found = append(found, runLockIO(pkg, graph, ioReach)...)
 		found = append(found, taint.findings[pkg]...)
+		found = append(found, rlock.findings[pkg]...)
 		for _, f := range found {
 			silenced := false
 			for _, s := range sups {

@@ -84,9 +84,13 @@ func TestDroppedErrFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, 
 func TestDeterminismFlagsSeededViolation(t *testing.T)  { requireAnalyzerHit(t, "determinism") }
 func TestLockCheckFlagsSeededViolation(t *testing.T)    { requireAnalyzerHit(t, "lockcheck") }
 func TestLockIOFlagsSeededViolation(t *testing.T)       { requireAnalyzerHit(t, "lockio") }
-func TestTrustTaintFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "trusttaint") }
-func TestObsclockFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "obsclock") }
-func TestU32TruncFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "u32trunc") }
+func TestReadLockFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "readlock") }
+func TestShadowBuiltinFlagsSeededViolation(t *testing.T) {
+	requireAnalyzerHit(t, "shadowbuiltin")
+}
+func TestTrustTaintFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, "trusttaint") }
+func TestObsclockFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "obsclock") }
+func TestU32TruncFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "u32trunc") }
 
 func requireAnalyzerHit(t *testing.T, analyzer string) {
 	t.Helper()

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sebdb/internal/lint/callgraph"
+)
+
+// ReadLock enforces the height-pinned read-view contract
+// interprocedurally: no function reachable from a query read entry
+// point — SELECT, TRACE, JOIN, GET BLOCK, EXPLAIN planning, thin-client
+// VO generation — may acquire the engine mutex (core.Engine.mu).
+// Reads run against the published core.View precisely so they never
+// contend with the commit pipeline; one e.mu acquisition smuggled into
+// a helper shared with the write path silently reintroduces the
+// contention the view removed, which no test notices until a profile
+// does. The analyzer walks the call graph forward from the entry
+// points and reports every engine-lock acquisition it can reach, with
+// the witness call chain.
+var ReadLock = &Analyzer{
+	Name: "readlock",
+	Doc:  "functions reachable from query read entry points must not acquire the engine mutex (escape: //sebdb:ignore-readlock reason: <why>)",
+	Run:  nil, // installed by RunAll via the shared call graph
+}
+
+// readLockEntries are the read entry points the zero-engine-lock
+// contract covers. EXPLAIN ANALYZE (execExplain/executeStmt) is
+// deliberately absent: it re-executes the statement, and a traced
+// INSERT legitimately reaches Submit and the commit pipeline.
+var readLockEntries = []funcSpec{
+	{"sebdb/internal/core", "Engine", "execSelect"},
+	{"sebdb/internal/core", "Engine", "execTrace"},
+	{"sebdb/internal/core", "Engine", "execJoin"},
+	{"sebdb/internal/core", "Engine", "execGetBlock"},
+	{"sebdb/internal/core", "Engine", "explainSelect"},
+	{"sebdb/internal/node", "FullNode", "handleAuthQuery"},
+	{"sebdb/internal/node", "FullNode", "handleAuthDigest"},
+}
+
+// isEngineType reports whether t (possibly behind a pointer) is the
+// engine type whose mu field is the writer lock.
+func isEngineType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sebdb/internal/core" && named.Obj().Name() == "Engine"
+}
+
+// readLock is the module-wide analysis state: findings per package,
+// precomputed once by RunAll like trusttaint's.
+type readLock struct {
+	findings map[*Package][]Finding
+}
+
+// newReadLock runs the analysis: a forward BFS over the call graph
+// from the entry points, then a scan of every reached body for
+// engine-mutex acquisitions. Interface calls are widened to every
+// in-module implementation by the graph, so routing a read through
+// exec.Chain does not hide an engine-locking implementation.
+func newReadLock(graph *callgraph.Graph, pkgs []*Package) *readLock {
+	rl := &readLock{findings: make(map[*Package][]Finding)}
+
+	pkgOf := make(map[*types.Func]*Package)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					pkgOf[fn] = p
+				}
+			}
+		}
+	}
+
+	// Forward BFS; entryOf doubles as the visited set, parent records
+	// one witness edge per function. Seeding and expansion follow the
+	// graph's load order, so witness paths are deterministic.
+	entryOf := make(map[*types.Func]*types.Func)
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, fn := range graph.Funcs() {
+		if matchSpec(readLockEntries, fn) {
+			entryOf[fn] = fn
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range graph.Callees(fn) {
+			if _, seen := entryOf[callee]; seen {
+				continue
+			}
+			entryOf[callee] = entryOf[fn]
+			parent[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+
+	for _, fn := range graph.Funcs() {
+		entry, reached := entryOf[fn]
+		if !reached {
+			continue
+		}
+		pkg, decl := pkgOf[fn], graph.Decl(fn)
+		if pkg == nil || decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || inner.Sel.Name != "mu" {
+				return true
+			}
+			tv, ok := pkg.Info.Types[inner.X]
+			if !ok || !isEngineType(tv.Type) {
+				return true
+			}
+			rl.findings[pkg] = append(rl.findings[pkg], Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "readlock",
+				Message: fmt.Sprintf("%s acquires the engine lock (%s.%s) on the read path from %s: %s",
+					funcDisplay(fn), exprText(pkg.Fset, sel.X), sel.Sel.Name,
+					funcDisplay(entry), entryPath(parent, fn)),
+			})
+			return true
+		})
+	}
+	return rl
+}
+
+// entryPath renders the witness call chain from the entry point down
+// to fn.
+func entryPath(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var rev []*types.Func
+	for f := fn; f != nil; f = parent[f] {
+		rev = append(rev, f)
+	}
+	parts := make([]string, len(rev))
+	for i, f := range rev {
+		parts[len(rev)-1-i] = funcDisplay(f)
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadowbuiltin rejects declarations that shadow a predeclared
+// identifier: `const cap = 200_000`, `min := ...`, `type new struct`
+// and the like. Inside the shadow's scope the builtin is silently
+// gone, and code pasted into it — a `cap(s)` call, say — fails to
+// compile or, worse, resolves to the shadow and does something else.
+// The estimateLayered planner once capped its counting loop with a
+// local `const cap`; this analyzer keeps that pattern from recurring.
+//
+// Scope: constants, variables (package-level, local and `:=` forms,
+// including range variables), types, and plain functions. Function
+// parameters, named results and struct fields are exempt — a
+// parameter's shadow is visible in the signature, and fields never
+// shadow anything.
+var Shadowbuiltin = &Analyzer{
+	Name: "shadowbuiltin",
+	Doc:  "declarations must not shadow a predeclared identifier (escape: //sebdb:ignore-shadowbuiltin <why>)",
+	Run:  runShadowBuiltin,
+}
+
+func runShadowBuiltin(pkg *Package) []Finding {
+	var out []Finding
+	report := func(id *ast.Ident, kind string) {
+		if id == nil || id.Name == "_" || types.Universe.Lookup(id.Name) == nil {
+			return
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(id.Pos()),
+			Analyzer: "shadowbuiltin",
+			Message:  fmt.Sprintf("%s %s shadows the predeclared identifier %q; rename it", kind, id.Name, id.Name),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					report(d.Name, "function")
+				}
+			case *ast.TypeSpec:
+				report(d.Name, "type")
+			case *ast.ValueSpec:
+				for _, name := range d.Names {
+					report(name, declKind(pkg, name))
+				}
+			case *ast.AssignStmt:
+				if d.Tok == token.DEFINE {
+					for _, lhs := range d.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							report(id, "variable")
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if d.Tok == token.DEFINE {
+					if id, ok := d.Key.(*ast.Ident); ok {
+						report(id, "variable")
+					}
+					if id, ok := d.Value.(*ast.Ident); ok {
+						report(id, "variable")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// declKind names a ValueSpec identifier's object class for the report.
+func declKind(pkg *Package, id *ast.Ident) string {
+	if _, ok := pkg.Info.Defs[id].(*types.Const); ok {
+		return "constant"
+	}
+	return "variable"
+}

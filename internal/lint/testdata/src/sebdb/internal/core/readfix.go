@@ -1,0 +1,53 @@
+// Package core models the engine's read/write lock split for the
+// readlock fixture: execSelect and execTrace stand in for the real
+// read entry points, and Engine.mu for the writer lock a pinned read
+// must never touch. The package lives at sebdb/internal/core so the
+// analyzer's curated entry specs match it exactly.
+package core
+
+import "sync"
+
+// Engine models the real engine: mu is the writer lock, tables the
+// state it guards.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]bool
+}
+
+// execSelect is a read entry point; everything it reaches must stay
+// off e.mu.
+func (e *Engine) execSelect(table string) bool {
+	return e.lookup(table)
+}
+
+// lookup acquires the engine lock two calls below the entry point —
+// the exact divergence the analyzer exists to catch.
+func (e *Engine) lookup(table string) bool {
+	e.mu.RLock() // want:readlock
+	defer e.mu.RUnlock()
+	return e.tables[table]
+}
+
+// execTrace is a second entry point whose acquisition is audited: the
+// directive's reason: clause keeps it out of the findings.
+func (e *Engine) execTrace(table string) bool {
+	return e.auditedPeek(table)
+}
+
+func (e *Engine) auditedPeek(table string) bool {
+	//sebdb:ignore-readlock reason: fixture-audited acquisition exercising the suppression path
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[table]
+}
+
+// Commit is a writer; its acquisition is fine because no read entry
+// point reaches it.
+func (e *Engine) Commit(table string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tables == nil {
+		e.tables = make(map[string]bool)
+	}
+	e.tables[table] = true
+}

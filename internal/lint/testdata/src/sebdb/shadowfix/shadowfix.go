@@ -1,0 +1,62 @@
+// Package shadowfix seeds shadowbuiltin violations: declarations that
+// shadow a predeclared identifier, plus the shapes the analyzer must
+// leave alone (parameters, fields, non-colliding names).
+package shadowfix
+
+// estimate caps its counting loop with a local constant named after
+// the builtin — the original sin this analyzer guards against.
+func estimate(vals []int) int {
+	const cap = 3 // want:shadowbuiltin
+	total := 0
+	for _, v := range vals {
+		if v > 0 {
+			total++
+		}
+		if total >= cap {
+			break
+		}
+	}
+	return total
+}
+
+// smallest shadows the predeclared min with a short variable
+// declaration.
+func smallest(a, b int) int {
+	min := a // want:shadowbuiltin
+	if b < a {
+		min = b
+	}
+	return min
+}
+
+// new shadows the builtin allocator as a plain function.
+func new() int { return 0 } // want:shadowbuiltin
+
+// legacy pins the suppression path: the directive names a reason, so
+// the shadow below survives the run unreported.
+func legacy() int {
+	//sebdb:ignore-shadowbuiltin retained to exercise the suppression path
+	len := 1
+	return len
+}
+
+// Fine shapes: a parameter named max (the shadow is visible in the
+// signature), a field named cap, and non-colliding names.
+func bounded(max int) int {
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
+type ring struct {
+	cap int
+}
+
+// Limit does not collide with anything predeclared.
+const Limit = 10
+
+func use() int {
+	r := ring{cap: Limit}
+	return bounded(r.cap) + estimate(nil) + smallest(1, 2) + new() + legacy()
+}

@@ -21,19 +21,21 @@ const directivePrefix = "//sebdb:ignore-"
 // directiveAliases maps directive suffixes to analyzer names, so the
 // documented //sebdb:ignore-err form reaches droppederr.
 var directiveAliases = map[string]string{
-	"atomic":       "atomicwrite",
-	"atomicwrite":  "atomicwrite",
-	"err":          "droppederr",
-	"droppederr":   "droppederr",
-	"decodebounds": "decodebounds",
-	"determinism":  "determinism",
-	"lock":         "lockcheck",
-	"lockcheck":    "lockcheck",
-	"lockio":       "lockio",
-	"obsclock":     "obsclock",
-	"trusttaint":   "trusttaint",
-	"u32":          "u32trunc",
-	"u32trunc":     "u32trunc",
+	"atomic":        "atomicwrite",
+	"atomicwrite":   "atomicwrite",
+	"err":           "droppederr",
+	"droppederr":    "droppederr",
+	"decodebounds":  "decodebounds",
+	"determinism":   "determinism",
+	"lock":          "lockcheck",
+	"lockcheck":     "lockcheck",
+	"lockio":        "lockio",
+	"obsclock":      "obsclock",
+	"readlock":      "readlock",
+	"shadowbuiltin": "shadowbuiltin",
+	"trusttaint":    "trusttaint",
+	"u32":           "u32trunc",
+	"u32trunc":      "u32trunc",
 }
 
 // reasonClauseRequired lists the analyzers whose suppressions must spell
@@ -42,6 +44,7 @@ var directiveAliases = map[string]string{
 // expected to read as documentation.
 var reasonClauseRequired = map[string]bool{
 	"lockio":     true,
+	"readlock":   true,
 	"trusttaint": true,
 }
 

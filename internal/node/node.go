@@ -167,19 +167,24 @@ func decodeAuthRequest(buf []byte) (*AuthRequest, error) {
 }
 
 // resolve returns the ALI, eligible-block bitmap and snapshot height of
-// a request.
+// a request. Everything comes from one pinned view, so VO generation
+// never takes the engine lock and the default height, the window
+// bitmap and the ALI all describe the same instant — a commit racing
+// the request cannot leave the VO anchored at a height the bitmap has
+// already outgrown.
 func (n *FullNode) resolve(r *AuthRequest) (*auth.ALI, *bitmap.Bitmap, uint64, error) {
-	ali := n.Engine.AuthIndex(r.Table, r.Col)
+	v := n.Engine.CurrentView()
+	ali := v.AuthIndex(r.Table, r.Col)
 	if ali == nil {
 		return nil, nil, 0, fmt.Errorf("node: no authenticated index on %q.%q", r.Table, r.Col)
 	}
 	var eligible *bitmap.Bitmap
 	if r.WinStart != 0 || r.WinEnd != 0 {
-		eligible = n.Engine.BlockIdx().TimeWindow(r.WinStart, r.WinEnd)
+		eligible = v.BlockIdx().TimeWindow(r.WinStart, r.WinEnd)
 	}
 	height := r.Height
 	if height == 0 {
-		height = n.Engine.Height()
+		height = v.Height()
 	}
 	return ali, eligible, height, nil
 }

@@ -51,6 +51,30 @@ func sameTable(a, b *Table) bool {
 	return true
 }
 
+// Undefine removes a table registration. It exists for one caller:
+// CreateTable registers the table locally before the schema transaction
+// is submitted, and must roll that registration back when the submit
+// fails — otherwise the node's catalog diverges from the chain forever.
+func (c *Catalog) Undefine(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Snapshot returns a point-in-time copy of the catalog's table map,
+// keyed like the internal map. Tables are immutable once defined, so
+// sharing the *Table pointers is safe; the map copy alone isolates the
+// snapshot from later Define/Undefine calls.
+func (c *Catalog) Snapshot() map[string]*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*Table, len(c.tables))
+	for n, t := range c.tables {
+		out[n] = t
+	}
+	return out
+}
+
 // Lookup returns the table named name.
 func (c *Catalog) Lookup(name string) (*Table, error) {
 	c.mu.RLock()

@@ -49,6 +49,10 @@ go test -race -run 'CommitPipeline|GroupFsync|RequireSigs' \
     ./internal/core ./internal/storage \
     ./internal/consensus/kafka ./internal/consensus/pbft
 
+echo "== read view stress (-race) =="
+go test -race -run 'TestView|TestCreateRollsBack|TestCreateKept|TestDeployContractRollsBack' \
+    ./internal/core
+
 echo "== metrics endpoint smoke =="
 go test -race -run TestMetricsEndpoints ./cmd/sebdb-server
 
@@ -63,6 +67,11 @@ fi
 go run ./cmd/bchainbench -fig 7 -scale 0.01 -json "$json_out" >/dev/null
 if ! grep -q '"figure"' "$json_out"; then
     echo "bchainbench -fig 7 -json produced no figure data" >&2
+    exit 1
+fi
+go run ./cmd/bchainbench -fig readview -scale 0.01 -json "$json_out" >/dev/null
+if ! grep -q '"figure"' "$json_out"; then
+    echo "bchainbench -fig readview -json produced no figure data" >&2
     exit 1
 fi
 
