@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] [-json PATH]
+//	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] \
+//	    [-json PATH] [-trace-sample N]
 //
 //	-fig F     regenerate only figure F: a number (7..25) or a name —
 //	           "parallel" (23, the read-pipeline scaling sweep),
@@ -21,7 +22,13 @@
 //	           "-fig 7 -workers 4" compares the serial and staged
 //	           write paths
 //	-json PATH also write the generated tables as a JSON array of
-//	           {figure, title, x, series, values} objects
+//	           {figure, title, x, series, values, quantiles} objects;
+//	           quantiles carries each latency histogram's p50/p90/p99
+//	-trace-sample N
+//	           run the benchmark engines under the statement flight
+//	           recorder, tracing one statement in every N (0 = off);
+//	           "-fig 23" vs "-fig 23 -trace-sample 1" prices the
+//	           recorder's overhead
 package main
 
 import (
@@ -38,10 +45,12 @@ func main() {
 	dir := flag.String("dir", "", "scratch directory for datasets")
 	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 and commit-pipeline workers for figure 7 (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	traceSample := flag.Int("trace-sample", 0, "run benchmark engines under the flight recorder, tracing one statement in N (0 = recorder off); compare -fig 23 with and without to price the recorder")
 	flag.Parse()
 	if *workers > 0 {
 		bench.MaxWorkers = *workers
 	}
+	bench.TraceSample = *traceSample
 
 	scratch := *dir
 	if scratch == "" {
@@ -77,7 +86,9 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 		if *jsonPath != "" {
-			results = append(results, bench.TableJSON(num, t))
+			fj := bench.TableJSON(num, t)
+			fj.Quantiles = bench.HistogramQuantiles(nil)
+			results = append(results, fj)
 		}
 	}
 

@@ -6,7 +6,8 @@
 //
 //	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
 //	    [-peer host:port]... [-signer node0] [-auth table.col]... \
-//	    [-parallel N] [-sync] [-checkpoint-interval N] [-fast-sync]
+//	    [-parallel N] [-sync] [-checkpoint-interval N] [-fast-sync] \
+//	    [-trace-sample N] [-slow-query-micros N] [-log-level info]
 //
 // A standalone node packages its own blocks (submit transactions via
 // the SQL interface, e.g. from sebdb-cli); nodes with peers follow the
@@ -14,6 +15,11 @@
 // checkpoints its derived state every N blocks so restarts replay only
 // the post-checkpoint suffix; with -fast-sync an empty node bootstraps
 // by fetching a peer's checkpoint before opening the engine.
+//
+// Diagnostics are structured JSON events on stderr (-log-level selects
+// the floor); the flight recorder keeps the last sampled statement
+// traces and every statement slower than -slow-query-micros, browsable
+// via `SHOW [SLOW] TRACES` or /debug/traces behind -metrics-addr.
 package main
 
 import (
@@ -50,14 +56,25 @@ func main() {
 	cacheMode := flag.String("cache", "tx", "cache policy: none | block | tx")
 	par := flag.Int("parallel", 0, "worker count for the read pipeline (scans, replay, backfill) and the commit pipeline (tx hashing, index fan-out) (0 = GOMAXPROCS, 1 = sequential)")
 	sync := flag.Bool("sync", false, "fsync block segments on commit; batched commits (consensus, flush) sync once per batch")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/log and /debug/pprof on this address (empty = disabled)")
 	ckptInterval := flag.Int("checkpoint-interval", 0, "write a derived-state checkpoint every N blocks (0 = disabled)")
 	fastSync := flag.Bool("fast-sync", false, "bootstrap an empty data directory from the first reachable peer's checkpoint")
 	noCkptLoad := flag.Bool("no-checkpoint-load", false, "ignore existing checkpoints on startup and rebuild by full replay")
+	traceSample := flag.Int("trace-sample", 1, "trace one statement in every N (1 = every statement)")
+	slowMicros := flag.Int64("slow-query-micros", 100_000, "capture any statement at or above this latency into the slow-query ring regardless of sampling (0 = disabled)")
+	logLevel := flag.String("log-level", "info", "structured event log floor: debug | info | warn | error")
 	var peers, authIdx listFlag
 	flag.Var(&peers, "peer", "peer address (repeatable)")
 	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
 	flag.Parse()
+
+	logger := obs.NewLogger(obs.Default, os.Stderr, obs.ParseLevel(*logLevel))
+	log := logger.With("server")
+	recorder := obs.NewRecorder(obs.RecorderConfig{
+		Registry:    obs.Default,
+		SampleEvery: *traceSample,
+		SlowMicros:  *slowMicros,
+	})
 
 	mode := core.CacheTxs
 	switch *cacheMode {
@@ -67,7 +84,7 @@ func main() {
 		mode = core.CacheBlocks
 	case "tx":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown cache policy %q\n", *cacheMode)
+		log.Error("unknown cache policy", "policy", *cacheMode)
 		os.Exit(2)
 	}
 
@@ -80,15 +97,15 @@ func main() {
 		for _, p := range peers {
 			remote, err := node.DialNode(p)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fast-sync peer %s: %v\n", p, err)
+				log.Warn("fast-sync peer dial failed", "peer", p, "err", err)
 				continue
 			}
-			res, err := node.FastSync(*dir, remote, obs.Default)
+			res, err := node.FastSyncWithLog(*dir, remote, obs.Default, logger)
 			if cerr := remote.Close(); cerr != nil {
-				fmt.Fprintf(os.Stderr, "fast-sync peer %s close: %v\n", p, cerr)
+				log.Warn("fast-sync peer close failed", "peer", p, "err", cerr)
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fast-sync from %s: %v\n", p, err)
+				log.Warn("fast-sync failed", "peer", p, "err", err)
 				continue
 			}
 			fmt.Printf("sebdb-server: fast-synced %d blocks + checkpoint at height %d (%d checkpoint bytes) from %s\n",
@@ -97,26 +114,27 @@ func main() {
 			break
 		}
 		if !synced {
-			fmt.Fprintln(os.Stderr, "fast-sync: no peer served a usable checkpoint; falling back to gossip sync")
+			log.Warn("fast-sync found no usable peer checkpoint; falling back to gossip sync")
 		}
 	}
 
 	engine, err := core.Open(core.Config{Dir: *dir, Signer: *signer, CacheMode: mode, Parallelism: *par,
-		Sync: *sync, CheckpointInterval: *ckptInterval, DisableCheckpointLoad: *noCkptLoad})
+		Sync: *sync, CheckpointInterval: *ckptInterval, DisableCheckpointLoad: *noCkptLoad,
+		Recorder: recorder, Log: logger})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "open:", err)
+		log.Error("engine open failed", "dir", *dir, "err", err)
 		os.Exit(1)
 	}
 	defer func() {
 		if err := engine.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "close:", err)
+			log.Error("engine close failed", "err", err)
 		}
 	}()
 
 	for _, spec := range authIdx {
 		i := strings.LastIndex(spec, ".")
 		if i < 0 {
-			fmt.Fprintf(os.Stderr, "bad -auth %q (want table.col)\n", spec)
+			log.Error("bad -auth spec (want table.col)", "spec", spec)
 			os.Exit(2)
 		}
 		if err := engine.CreateAuthIndex(spec[:i], spec[i+1:]); err != nil {
@@ -124,7 +142,7 @@ func main() {
 			// indexed yet; warn and continue so bootstrapping nodes can
 			// start before the schema exists. Re-run with -auth once the
 			// table is on chain.
-			fmt.Fprintf(os.Stderr, "warning: auth index %s: %v\n", spec, err)
+			log.Warn("auth index deferred", "spec", spec, "err", err)
 		}
 	}
 
@@ -132,13 +150,13 @@ func main() {
 		registerEngineMetrics(obs.Default, engine)
 		ml, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics listen:", err)
+			log.Error("metrics listen failed", "addr", *metricsAddr, "err", err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: metricsMux(obs.Default)}
+		srv := &http.Server{Handler: metricsMux(obs.Default, recorder, logger)}
 		go func() {
 			if err := srv.Serve(ml); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "metrics serve:", err)
+				log.Error("metrics serve failed", "err", err)
 			}
 		}()
 		defer srv.Close() //sebdb:ignore-err best-effort teardown of the metrics listener at exit
@@ -148,12 +166,12 @@ func main() {
 	n := node.New(engine)
 	defer func() {
 		if err := n.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "close:", err)
+			log.Error("node close failed", "err", err)
 		}
 	}()
 	addr, err := n.Serve(*listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "listen:", err)
+		log.Error("listen failed", "addr", *listen, "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("sebdb-server: %s serving on %s, height %d\n", *signer, addr, engine.Height())
@@ -161,7 +179,7 @@ func main() {
 	for _, p := range peers {
 		remote, err := node.DialNode(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "peer %s: %v\n", p, err)
+			log.Warn("peer dial failed", "peer", p, "err", err)
 			continue
 		}
 		n.Gossip.AddPeer(remote)

@@ -12,12 +12,20 @@ import (
 // -metrics-addr:
 //
 //	/metrics       Prometheus text exposition
-//	/debug/vars    the same registry as indented JSON
+//	/debug/vars    the same registry as indented JSON (with quantiles)
+//	/debug/traces  the flight recorder's recent + slow rings
+//	               (?ring=slow, ?stage=, ?min_micros=, ?n=)
+//	/debug/log     the structured event ring (?level=, ?n=)
 //	/debug/pprof/  the runtime profiles
-func metricsMux(reg *obs.Registry) *http.ServeMux {
+//
+// rec and log may be nil; the trace and log endpoints then serve empty
+// lists.
+func metricsMux(reg *obs.Registry, rec *obs.Recorder, log *obs.Logger) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.Handle("/debug/vars", obs.VarsHandler(reg))
+	mux.Handle("/debug/traces", obs.TracesHandler(rec))
+	mux.Handle("/debug/log", obs.LogHandler(log))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

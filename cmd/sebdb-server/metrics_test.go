@@ -47,7 +47,7 @@ func TestMetricsEndpoints(t *testing.T) {
 	}
 
 	registerEngineMetrics(reg, e)
-	srv := httptest.NewServer(metricsMux(reg))
+	srv := httptest.NewServer(metricsMux(reg, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -95,5 +95,123 @@ func TestMetricsEndpoints(t *testing.T) {
 
 	if code, _ := get("/debug/pprof/"); code != 200 {
 		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+// TestTraceLogEndpoints drives the flight recorder and the structured
+// event log end to end: an engine wired with both, statements to fill
+// the rings, then /debug/traces (recent + slow, with filters) and
+// /debug/log over the metrics mux. Nil recorder/logger endpoints from
+// TestMetricsEndpoints above cover the disabled path.
+func TestTraceLogEndpoints(t *testing.T) {
+	reg := obs.NewRegistry(clock.UnixMicro)
+	rec := obs.NewRecorder(obs.RecorderConfig{Registry: reg, SampleEvery: 1, SlowMicros: 1})
+	logger := obs.NewLogger(reg, nil, obs.LevelDebug)
+	e, err := core.Open(core.Config{Dir: t.TempDir(), Obs: reg, Recorder: rec, Log: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Execute(`CREATE donate (donor string, amount int)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Execute(`INSERT INTO donate VALUES (?, ?)`,
+			types.Str("d"), types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`SELECT * FROM donate WHERE amount >= 0`); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(metricsMux(reg, rec, logger))
+	defer srv.Close()
+
+	get := func(path string) []map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var out []map[string]any
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("GET %s: not a JSON list: %v", path, err)
+		}
+		return out
+	}
+
+	recent := get("/debug/traces")
+	if len(recent) < 7 { // create + 5 inserts + select, every one sampled
+		t.Fatalf("/debug/traces returned %d records, want >= 7", len(recent))
+	}
+	for _, r := range recent {
+		id, _ := r["trace_id"].(string)
+		if id == "" {
+			t.Errorf("record missing trace_id: %v", r)
+		}
+		if _, ok := r["root"].(map[string]any); !ok {
+			t.Errorf("sampled record missing root span: %v", r)
+		}
+	}
+	// Newest-first: the SELECT is the most recent statement.
+	if got, _ := recent[0]["stage"].(string); got != "stmt.select" {
+		t.Errorf("newest stage = %q, want stmt.select", got)
+	}
+
+	// SlowMicros=1 promotes every statement, so the slow ring mirrors the
+	// recent one and keeps full span trees.
+	slow := get("/debug/traces?ring=slow")
+	if len(slow) < 7 {
+		t.Fatalf("slow ring has %d records, want >= 7", len(slow))
+	}
+	root, ok := slow[0]["root"].(map[string]any)
+	if !ok {
+		t.Fatalf("slow record missing span tree: %v", slow[0])
+	}
+	if _, ok := root["children"].([]any); !ok {
+		t.Errorf("slow root span has no children (want full tree): %v", root)
+	}
+
+	if got := get("/debug/traces?stage=stmt.insert"); len(got) != 5 {
+		t.Errorf("stage filter returned %d records, want 5", len(got))
+	}
+	if got := get("/debug/traces?n=2"); len(got) != 2 {
+		t.Errorf("n=2 returned %d records, want 2", len(got))
+	}
+	if got := get("/debug/traces?min_micros=99999999"); len(got) != 0 {
+		t.Errorf("min_micros filter returned %d records, want 0", len(got))
+	}
+
+	events := get("/debug/log")
+	if len(events) == 0 {
+		t.Fatal("/debug/log is empty; want engine events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		msg, _ := ev["msg"].(string)
+		seen[msg] = true
+		if comp, _ := ev["component"].(string); comp == "" {
+			t.Errorf("event missing component: %v", ev)
+		}
+	}
+	for _, want := range []string{"engine opened", "table created", "block committed"} {
+		if !seen[want] {
+			t.Errorf("/debug/log missing %q event", want)
+		}
+	}
+	if got := get("/debug/log?level=error"); len(got) != 0 {
+		t.Errorf("level=error returned %d events, want 0", len(got))
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sebdb/internal/node"
+	"sebdb/internal/obs"
 	"sebdb/internal/thinclient"
 	"sebdb/internal/types"
 )
@@ -60,14 +61,16 @@ func main() {
 	flag.Var(&auxAddrs, "aux", "auxiliary full node (repeatable)")
 	flag.Parse()
 
+	log := obs.NewLogger(obs.Default, os.Stderr, obs.LevelInfo).With("thin")
+
 	if *nodeAddr == "" || *col == "" || *lo == "" || *hi == "" {
-		fmt.Fprintln(os.Stderr, "need -node, -col, -lo and -hi (see -h)")
+		log.Error("need -node, -col, -lo and -hi (see -h)")
 		os.Exit(2)
 	}
 
 	full, err := node.DialNode(*nodeAddr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "node:", err)
+		log.Error("node dial failed", "node", *nodeAddr, "err", err)
 		os.Exit(1)
 	}
 	defer full.Close() //sebdb:ignore-err node teardown at process exit
@@ -75,20 +78,20 @@ func main() {
 	for _, a := range auxAddrs {
 		r, err := node.DialNode(a)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aux %s: %v\n", a, err)
+			log.Error("aux dial failed", "aux", a, "err", err)
 			os.Exit(1)
 		}
 		defer r.Close() //sebdb:ignore-err connection teardown at process exit
 		aux = append(aux, r)
 	}
 	if len(aux) == 0 {
-		fmt.Fprintln(os.Stderr, "warning: no -aux nodes; the answer's snapshot digest is unconfirmed")
+		log.Warn("no -aux nodes; the answer's snapshot digest is unconfirmed")
 		aux = []node.QueryNode{full} // degenerate: self-confirmation
 	}
 
 	tc := thinclient.New(time.Now().UnixNano())
 	if err := tc.SyncHeaders(full); err != nil {
-		fmt.Fprintln(os.Stderr, "header sync:", err)
+		log.Error("header sync failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("synced %d block headers\n", tc.Height())
@@ -102,7 +105,7 @@ func main() {
 		M: *m, ByzantineRatio: *p, MaxByzantine: *maxByz,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "authenticated query:", err)
+		log.Error("authenticated query failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("verified %d transactions in %v (VO %d bytes over %d blocks; %d/%d digests matched; wrong-digest probability %.3g)\n",

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -64,7 +65,17 @@ func FigParallel(dir string, scale float64) (*Table, error) {
 		e.SetParallelism(w)
 		row := []string{fmt.Sprintf("%d", w)}
 		for _, m := range []exec.Method{exec.MethodScan, exec.MethodBitmap, exec.MethodLayered} {
-			n, d, err := Timed(func() (int, error) { return Q4(e, RangeLo, RangeHi, m) })
+			// Each query runs as one recorder statement (a no-op while
+			// TraceSample is 0, when Recorder() is nil), so this figure
+			// with and without -trace-sample prices the recorder's
+			// per-statement overhead on an otherwise identical workload.
+			n, d, err := Timed(func() (int, error) {
+				_, st := e.Recorder().Begin(context.Background(), "Q4 range "+m.String())
+				st.SetStage("select")
+				n, err := Q4(e, RangeLo, RangeHi, m)
+				st.Finish(err)
+				return n, err
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@ import (
 
 	"sebdb/internal/clock"
 	"sebdb/internal/consensus"
+	"sebdb/internal/obs"
 	"sebdb/internal/parallel"
 	"sebdb/internal/types"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	// Now supplies block timestamps (default clock.UnixMicro). Injected
 	// so replays and tests can pin the timestamps subscribers agree on.
 	Now clock.Source
+	// Log receives structured broker events (batch rejections). Nil
+	// disables them.
+	Log *obs.Logger
 }
 
 func (o *Options) fill() {
@@ -246,6 +250,8 @@ func (b *Broker) checkBatch(batch []pending) []pending {
 			continue
 		}
 		mRejected.Inc()
+		b.opts.Log.Warn("transaction rejected",
+			"sender", p.tx.SenID, "table", p.tx.Tname, "reason", "bad signature")
 		p.done <- ErrRejected
 	}
 	return kept

@@ -24,6 +24,7 @@ import (
 
 	"sebdb/internal/clock"
 	"sebdb/internal/consensus"
+	"sebdb/internal/obs"
 	"sebdb/internal/parallel"
 	"sebdb/internal/types"
 )
@@ -54,6 +55,9 @@ type Options struct {
 	// Now supplies block timestamps (default clock.UnixMicro). Injected
 	// so replays and tests can pin the timestamps replicas agree on.
 	Now clock.Source
+	// Log receives structured consensus events (view changes, batch
+	// rejections). Nil disables them.
+	Log *obs.Logger
 }
 
 func (o *Options) fill() {
@@ -353,6 +357,8 @@ func (c *Cluster) checkBatch(batch []request) []request {
 			continue
 		}
 		mRejected.Inc()
+		c.opts.Log.Warn("transaction rejected",
+			"sender", r.tx.SenID, "table", r.tx.Tname, "reason", "bad signature")
 		r.done <- ErrRejected
 	}
 	return kept
@@ -363,6 +369,7 @@ func (c *Cluster) checkBatch(batch []request) []request {
 // per-replica timers).
 func (c *Cluster) startViewChange() {
 	newView := int(c.curView.Load()) + 1
+	c.opts.Log.Warn("primary suspected, starting view change", "new_view", newView)
 	for _, r := range c.replicas {
 		if !r.crashed {
 			c.broadcast(message{kind: msgViewChange, view: newView, from: r.id})
@@ -485,6 +492,8 @@ func (r *replica) handle(m message) {
 				}
 				if c.curView.CompareAndSwap(cur, int64(m.view)) {
 					mViewChanges.Inc()
+					c.opts.Log.Info("view adopted",
+						"view", m.view, "primary", m.view%c.n)
 					break
 				}
 			}

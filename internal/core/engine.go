@@ -92,6 +92,15 @@ type Config struct {
 	// Obs is the metrics registry the engine and its operators report
 	// into. Nil means obs.Default (what the server's /metrics exposes).
 	Obs *obs.Registry
+	// Recorder is the statement flight recorder: every Execute runs
+	// under a sampled trace and slow statements are captured with their
+	// span trees (see internal/obs). Nil disables recording — the
+	// statement path then pays one nil check.
+	Recorder *obs.Recorder
+	// Log is the structured event logger the engine reports lifecycle
+	// events into (DDL, rollbacks, checkpoints, commits at debug). Nil
+	// disables event logging; every call is then a no-op.
+	Log *obs.Logger
 	// CheckpointInterval writes a derived-state checkpoint every that
 	// many blocks (see internal/snapshot). Zero disables automatic
 	// checkpointing; WriteCheckpoint still works.
@@ -195,6 +204,10 @@ type Engine struct {
 	acl       *accessctl.Controller
 	contracts *contract.Registry
 
+	// log is the engine's component logger (Config.Log tagged "core");
+	// nil — and therefore a no-op — when event logging is off.
+	log *obs.Logger
+
 	// keyMu guards the sender signing keys on their own lock: signing a
 	// transaction happens on read paths' write cousins (execCreate,
 	// DeployContract, NewTransaction) and must never touch e.mu.
@@ -233,12 +246,15 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.recovery = root
+	e.log.Info("engine opened",
+		"dir", cfg.Dir, "height", e.Height(), "recovery_micros", root.DurationMicros())
 	return e, nil
 }
 
 func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
 	snapDir := snapshot.NewDir(cfg.FS, cfg.Dir)
-	sopts := storage.Options{SegmentSize: cfg.SegmentSize, Sync: cfg.Sync, FS: cfg.FS}
+	sopts := storage.Options{SegmentSize: cfg.SegmentSize, Sync: cfg.Sync, FS: cfg.FS,
+		Log: cfg.Log.With("storage")}
 
 	// Phase 1: checkpoint. Load the pinned checkpoint, verify its anchor
 	// against the segment store by fast-opening with the embedded
@@ -350,6 +366,7 @@ func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 		keys:       make(map[string]ed25519.PrivateKey),
 		acl:        accessctl.New(),
 		contracts:  contract.NewRegistry(),
+		log:        cfg.Log.With("core"),
 		snapDir:    snapDir,
 		mPrepare:   cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.prepare"}`),
 		mAppend:    cfg.Obs.Histogram(`sebdb_stage_micros{stage="commit.append"}`),
@@ -411,6 +428,11 @@ func (e *Engine) Catalog() *schema.Catalog { return e.catalog }
 
 // Height returns the chain height (number of blocks).
 func (e *Engine) Height() uint64 { return uint64(e.store.Count()) }
+
+// Recorder returns the engine's statement flight recorder (nil when
+// tracing is off); callers that run queries below the SQL layer can
+// record statements against it directly.
+func (e *Engine) Recorder() *obs.Recorder { return e.cfg.Recorder }
 
 // Parallelism returns the read and commit pipelines' worker bound
 // (>= 1); the engine satisfies exec.ParallelChain with it.
@@ -610,6 +632,8 @@ func (e *Engine) commitOne(txs []*types.Transaction, ts int64, syncNow bool) (*t
 	e.mu.Unlock()
 	e.mAppend.Observe(appended - prepared)
 	e.mIndex.Observe(e.cfg.Obs.Now() - appended)
+	e.log.Debug("block committed",
+		"height", b.Header.Height, "txs", len(b.Txs), "first_tid", b.Header.FirstTid)
 
 	if syncNow {
 		if err := e.syncCommitted(); err != nil {
@@ -707,6 +731,8 @@ func (e *Engine) applyOne(b *types.Block) (*snapshot.Checkpoint, error) {
 	e.mu.Unlock()
 	e.mAppend.Observe(appended - prepared)
 	e.mIndex.Observe(e.cfg.Obs.Now() - appended)
+	e.log.Debug("block applied",
+		"height", b.Header.Height, "txs", len(b.Txs), "signer", b.Header.Signer)
 	return ck, e.syncCommitted()
 }
 

@@ -104,6 +104,31 @@ func (e *Engine) execExplain(ctx context.Context, sender string, s *sqlparser.Ex
 	return renderTrace(root), nil
 }
 
+// spanCells renders one span's shared trace columns — the indented
+// stage name, duration and the well-known exec counters — returning the
+// remaining counters as "name=value" detail pairs. renderTrace (EXPLAIN
+// ANALYZE, ExplainRecovery) and execShowTraces both build on it.
+func spanCells(sp *obs.Span, depth int) (cells []types.Value, detail []string) {
+	br, te, ip := types.Null, types.Null, types.Null
+	for _, c := range sp.Counters() {
+		switch c.Name {
+		case "blocks_read":
+			br = types.Int(c.Value)
+		case "txs_examined":
+			te = types.Int(c.Value)
+		case "index_probes":
+			ip = types.Int(c.Value)
+		default:
+			detail = append(detail, fmt.Sprintf("%s=%d", c.Name, c.Value))
+		}
+	}
+	return []types.Value{
+		types.Str(strings.Repeat("  ", depth) + sp.Name()),
+		types.Int(sp.DurationMicros()),
+		br, te, ip,
+	}, detail
+}
+
 // renderTrace flattens a finished span tree depth-first into result
 // rows. The well-known exec counters get their own columns; everything
 // else lands in detail as "name=value" pairs.
@@ -112,26 +137,8 @@ func renderTrace(root *obs.Span) *Result {
 		"stage", "micros", "blocks_read", "txs_examined", "index_probes", "detail"}}
 	var walk func(sp *obs.Span, depth int)
 	walk = func(sp *obs.Span, depth int) {
-		br, te, ip := types.Null, types.Null, types.Null
-		var rest []string
-		for _, c := range sp.Counters() {
-			switch c.Name {
-			case "blocks_read":
-				br = types.Int(c.Value)
-			case "txs_examined":
-				te = types.Int(c.Value)
-			case "index_probes":
-				ip = types.Int(c.Value)
-			default:
-				rest = append(rest, fmt.Sprintf("%s=%d", c.Name, c.Value))
-			}
-		}
-		res.Rows = append(res.Rows, []types.Value{
-			types.Str(strings.Repeat("  ", depth) + sp.Name()),
-			types.Int(sp.DurationMicros()),
-			br, te, ip,
-			types.Str(strings.Join(rest, " ")),
-		})
+		cells, rest := spanCells(sp, depth)
+		res.Rows = append(res.Rows, append(cells, types.Str(strings.Join(rest, " "))))
 		for _, ch := range sp.Children() {
 			walk(ch, depth+1)
 		}

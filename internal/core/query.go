@@ -29,12 +29,48 @@ func (e *Engine) Execute(sql string, params ...types.Value) (*Result, error) {
 }
 
 // ExecuteAs runs a statement on behalf of the given sender identity.
+// Every statement runs under the flight recorder (Config.Recorder):
+// sampled statements carry a trace the execution stages report into,
+// and slow statements are captured into the slow-query ring whether
+// sampled or not. A nil recorder costs one nil check.
 func (e *Engine) ExecuteAs(sender, sql string, params ...types.Value) (*Result, error) {
+	ctx, stmt := e.cfg.Recorder.Begin(context.Background(), sql)
+	_, parseSp := obs.StartSpan(ctx, "parse")
 	st, err := sqlparser.Parse(sql)
+	parseSp.Finish()
 	if err != nil {
+		stmt.Finish(err)
 		return nil, err
 	}
-	return e.executeStmt(context.Background(), sender, st, params)
+	stmt.SetStage(stmtKind(st))
+	res, err := e.executeStmt(ctx, sender, st, params)
+	stmt.Finish(err)
+	return res, err
+}
+
+// stmtKind names a parsed statement's kind for the recorder's per-kind
+// stages ("stmt.select", "stmt.insert", ...).
+func stmtKind(st sqlparser.Statement) string {
+	switch st.(type) {
+	case *sqlparser.CreateTable:
+		return "create"
+	case *sqlparser.Insert:
+		return "insert"
+	case *sqlparser.Select:
+		return "select"
+	case *sqlparser.Join:
+		return "join"
+	case *sqlparser.Trace:
+		return "trace"
+	case *sqlparser.GetBlock:
+		return "getblock"
+	case *sqlparser.Explain:
+		return "explain"
+	case *sqlparser.ShowTraces:
+		return "showtraces"
+	default:
+		return "other"
+	}
 }
 
 // executeStmt checks access and dispatches one parsed statement. The
@@ -59,6 +95,8 @@ func (e *Engine) executeStmt(ctx context.Context, sender string, st sqlparser.St
 		return e.execGetBlock(ctx, s)
 	case *sqlparser.Explain:
 		return e.execExplain(ctx, sender, s)
+	case *sqlparser.ShowTraces:
+		return e.execShowTraces(s)
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", st)
 	}
@@ -92,9 +130,11 @@ func (e *Engine) execCreate(sender string, s *sqlparser.CreateTable) (*Result, e
 		if !e.txCommitted(tx) {
 			e.catalog.Undefine(tbl.Name)
 			e.publishView()
+			e.log.Warn("table create rolled back", "table", tbl.Name, "err", err)
 		}
 		return nil, err
 	}
+	e.log.Info("table created", "table", tbl.Name, "sender", sender)
 	return &Result{Columns: []string{"status"}, Rows: [][]types.Value{{types.Str("created " + tbl.Name)}}}, nil
 }
 
@@ -528,6 +568,10 @@ func (e *Engine) checkAccess(sender string, st sqlparser.Statement) error {
 		// only reach nodes of that channel; node-local enforcement stays
 		// at the statement level here.
 		return nil
+	case *sqlparser.ShowTraces:
+		// Node-local introspection over the flight recorder; no table
+		// data is exposed beyond what the recorded statements returned.
+		return nil
 	default:
 		return nil
 	}
@@ -559,9 +603,11 @@ func (e *Engine) DeployContract(sender, name string, statements []string) error 
 		if !e.txCommitted(tx) {
 			e.contracts.Unregister(c.Name)
 			e.publishView()
+			e.log.Warn("contract deploy rolled back", "contract", c.Name, "err", err)
 		}
 		return err
 	}
+	e.log.Info("contract deployed", "contract", c.Name, "sender", sender)
 	return nil
 }
 

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"sebdb/internal/obs"
+	"sebdb/internal/sqlparser"
+	"sebdb/internal/types"
+)
+
+// execShowTraces renders the flight recorder's rings through the
+// EXPLAIN tree renderer: `SHOW TRACES` lists the most recent sampled
+// statements, `SHOW SLOW TRACES` the captured slow statements, newest
+// first, one indented span row per stage with the trace ID on each
+// root row. With no recorder configured the result is empty.
+func (e *Engine) execShowTraces(s *sqlparser.ShowTraces) (*Result, error) {
+	res := &Result{Columns: []string{"trace_id", "stage", "micros",
+		"blocks_read", "txs_examined", "index_probes", "detail"}}
+	recs := e.cfg.Recorder.Recent()
+	if s.Slow {
+		recs = e.cfg.Recorder.Slow()
+	}
+	if s.Limit > 0 && len(recs) > s.Limit {
+		recs = recs[:s.Limit]
+	}
+	for _, rec := range recs {
+		rootDetail := []string{"sql=" + strconv.Quote(rec.SQL)}
+		if rec.Err != "" {
+			rootDetail = append(rootDetail, "err="+strconv.Quote(rec.Err))
+		}
+		if rec.Slow {
+			rootDetail = append(rootDetail, "slow=true")
+		}
+		if rec.Root == nil {
+			// An unsampled statement promoted on latency alone: no span
+			// tree was collected, so only the root row exists.
+			res.Rows = append(res.Rows, []types.Value{
+				types.Str(rec.ID), types.Str(rec.Stage), types.Int(rec.Micros),
+				types.Null, types.Null, types.Null,
+				types.Str(strings.Join(rootDetail, " ")),
+			})
+			continue
+		}
+		var walk func(sp *obs.Span, depth int, id string, extra []string)
+		walk = func(sp *obs.Span, depth int, id string, extra []string) {
+			cells, rest := spanCells(sp, depth)
+			rest = append(rest, extra...)
+			row := append([]types.Value{types.Str(id)}, cells...)
+			row = append(row, types.Str(strings.Join(rest, " ")))
+			res.Rows = append(res.Rows, row)
+			for _, ch := range sp.Children() {
+				walk(ch, depth+1, "", nil)
+			}
+		}
+		walk(rec.Root, 0, rec.ID, rootDetail)
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sebdb/internal/obs"
+)
+
+// TestShowTraces drives the recorder through real statements and reads
+// it back over SQL: every sampled statement appears newest-first with a
+// trace ID on its root row and indented span rows below.
+func TestShowTraces(t *testing.T) {
+	clk := tickClock()
+	reg := obs.NewRegistry(clk)
+	rec := obs.NewRecorder(obs.RecorderConfig{Registry: reg, SlowMicros: 1})
+	e := testEngine(t, Config{Clock: clk, Obs: reg, Recorder: rec})
+	seedDonation(t, e, 10, 5)
+	mustExec(t, e, `SELECT * FROM donate WHERE amount >= 0`)
+
+	res := mustExec(t, e, `SHOW TRACES`)
+	wantCols := []string{"trace_id", "stage", "micros",
+		"blocks_read", "txs_examined", "index_probes", "detail"}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("SHOW TRACES returned no rows")
+	}
+	// Newest first: the root row of the SELECT leads, with its ID and SQL.
+	root := res.Rows[0]
+	if root[0].S == "" {
+		t.Errorf("root row missing trace id: %v", root)
+	}
+	if root[1].S != "stmt.select" {
+		t.Errorf("root stage = %q, want stmt.select", root[1].S)
+	}
+	if !strings.Contains(root[6].S, `sql="SELECT`) {
+		t.Errorf("root detail = %q, want the statement's SQL", root[6].S)
+	}
+	// Child rows are indented, carry no ID, and include the parse stage.
+	var sawParse bool
+	for _, row := range res.Rows[1:] {
+		if row[0].S != "" {
+			break // next statement's root
+		}
+		if !strings.HasPrefix(row[1].S, "  ") {
+			t.Errorf("child stage %q not indented", row[1].S)
+		}
+		if strings.TrimSpace(row[1].S) == "parse" {
+			sawParse = true
+		}
+	}
+	if !sawParse {
+		t.Errorf("no parse span under the root: %v", res.Rows)
+	}
+
+	// SHOW SLOW TRACES honours LIMIT; with SlowMicros=1 and a ticking
+	// clock every statement qualifies, so one row group comes back.
+	slow := mustExec(t, e, `SHOW SLOW TRACES LIMIT 1`)
+	var roots int
+	for _, row := range slow.Rows {
+		if row[0].S != "" {
+			roots++
+			if !strings.Contains(row[6].S, "slow=true") {
+				t.Errorf("slow root not marked slow: %q", row[6].S)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("SHOW SLOW TRACES LIMIT 1 returned %d statements, want 1", roots)
+	}
+}
+
+// TestShowTracesWithoutRecorder pins the disabled path: valid SQL, an
+// empty result, no crash.
+func TestShowTracesWithoutRecorder(t *testing.T) {
+	e := testEngine(t, Config{})
+	for _, q := range []string{`SHOW TRACES`, `SHOW SLOW TRACES`, `SHOW TRACES LIMIT 5`} {
+		res, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("%s returned %d rows without a recorder", q, len(res.Rows))
+		}
+	}
+}
+
+// TestShowTracesAccess checks SHOW TRACES is node-local introspection:
+// it works for any sender, even ones access control would stop from
+// reading tables.
+func TestShowTracesAccess(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	e := testEngine(t, Config{Recorder: rec})
+	seedDonation(t, e, 5, 5)
+	if _, err := e.ExecuteAs("nobody", `SHOW TRACES`); err != nil {
+		t.Fatalf("SHOW TRACES as unprivileged sender: %v", err)
+	}
+}

@@ -74,6 +74,9 @@ func (e *Engine) finishCheckpoint(c *snapshot.Checkpoint) {
 	err := e.persistCheckpoint(c)
 	if err != nil {
 		e.cfg.Obs.Counter("sebdb_snapshot_write_errors_total").Inc()
+		e.log.Error("checkpoint persist failed", "height", c.Height, "err", err)
+	} else {
+		e.log.Info("checkpoint persisted", "height", c.Height)
 	}
 	e.mu.Lock()
 	e.ckptErr = err

@@ -43,6 +43,7 @@ func Analyzers() []*Analyzer {
 		LockCheck,
 		LockIO,
 		Obsclock,
+		Rawlog,
 		ReadLock,
 		Shadowbuiltin,
 		TrustTaint,

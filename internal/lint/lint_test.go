@@ -90,6 +90,7 @@ func TestShadowBuiltinFlagsSeededViolation(t *testing.T) {
 }
 func TestTrustTaintFlagsSeededViolation(t *testing.T) { requireAnalyzerHit(t, "trusttaint") }
 func TestObsclockFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "obsclock") }
+func TestRawlogFlagsSeededViolation(t *testing.T)     { requireAnalyzerHit(t, "rawlog") }
 func TestU32TruncFlagsSeededViolation(t *testing.T)   { requireAnalyzerHit(t, "u32trunc") }
 
 func requireAnalyzerHit(t *testing.T, analyzer string) {

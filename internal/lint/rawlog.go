@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// rawlogPrefixes lists the package subtrees whose diagnostics must go
+// through the structured event logger (obs.Logger): the whole internal
+// tree plus the two long-running binaries. The other commands
+// (sebdb-cli's REPL, bchainbench's reports, sebdb-vet's findings) write
+// human output to their streams by design and stay out of scope.
+var rawlogPrefixes = []string{
+	"sebdb/internal",
+	"sebdb/cmd/sebdb-server",
+	"sebdb/cmd/sebdb-thin",
+}
+
+// Rawlog forbids raw diagnostic output in the instrumented trees: no
+// stdlib log package (log.Printf, log.Fatal, ...) and no fmt.Fprint*
+// aimed at os.Stderr. Such prints bypass the structured event log —
+// they carry no level, no component, no fields, and never reach the
+// /debug/log ring — so operators lose them exactly when they matter.
+// Wiring os.Stderr in as a logger sink is fine; printing to it is not.
+var Rawlog = &Analyzer{
+	Name: "rawlog",
+	Doc:  "internal packages and the server binaries must log through obs.Logger, not stdlib log or fmt.Fprint*(os.Stderr, ...)",
+	Run:  runRawlog,
+}
+
+func runRawlog(pkg *Package) []Finding {
+	covered := false
+	for _, p := range rawlogPrefixes {
+		if pkg.Path == p || strings.HasPrefix(pkg.Path, p+"/") {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		logName, hasLog := importsPackage(f, "log")
+		fmtName, hasFmt := importsPackage(f, "fmt")
+		if !hasLog && !hasFmt {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			sel, isSel := call.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			id, isID := sel.X.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			// Any call into the stdlib log package: its package-level
+			// logger writes straight to stderr.
+			if hasLog && id.Name == logName {
+				if path := pkgPathOf(pkg.Info, sel.Sel); path == "" || path == "log" {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "rawlog",
+						Message:  fmt.Sprintf("raw log.%s call; emit a structured event through obs.Logger instead", sel.Sel.Name),
+					})
+				}
+				return true
+			}
+			// fmt.Fprint/Fprintf/Fprintln with os.Stderr as the writer.
+			if !hasFmt || id.Name != fmtName || !strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return true
+			}
+			if path := pkgPathOf(pkg.Info, sel.Sel); path != "" && path != "fmt" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			w, isWSel := call.Args[0].(*ast.SelectorExpr)
+			if !isWSel || w.Sel.Name != "Stderr" {
+				return true
+			}
+			if path := pkgPathOf(pkg.Info, w.Sel); path != "" && path != "os" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "rawlog",
+				Message:  fmt.Sprintf("fmt.%s to os.Stderr; emit a structured event through obs.Logger instead", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

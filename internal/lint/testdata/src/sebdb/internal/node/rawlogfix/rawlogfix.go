@@ -1,0 +1,28 @@
+// Package rawlogfix seeds rawlog violations inside an instrumented
+// subtree: diagnostics printed past the structured event logger.
+package rawlogfix
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Report writes diagnostics every way the analyzer must catch.
+func Report(err error) {
+	log.Printf("apply failed: %v", err)             // want:rawlog
+	fmt.Fprintf(os.Stderr, "apply failed: %v", err) // want:rawlog
+	fmt.Fprintln(os.Stderr, "giving up")            // want:rawlog
+}
+
+// Answer is fine: stdout is the program's answer channel, not a
+// diagnostic stream.
+func Answer(height uint64) {
+	fmt.Printf("height %d\n", height)
+	fmt.Fprintf(os.Stdout, "height %d\n", height)
+}
+
+//sebdb:ignore-rawlog crash handler of last resort; the logger may be the thing that failed
+func lastResort(err error) {
+	fmt.Fprintln(os.Stderr, "panic:", err)
+}

@@ -31,6 +31,7 @@ var directiveAliases = map[string]string{
 	"lockcheck":     "lockcheck",
 	"lockio":        "lockio",
 	"obsclock":      "obsclock",
+	"rawlog":        "rawlog",
 	"readlock":      "readlock",
 	"shadowbuiltin": "shadowbuiltin",
 	"trusttaint":    "trusttaint",

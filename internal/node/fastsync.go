@@ -266,16 +266,26 @@ type FastSyncResult struct {
 // checkpoint arrive through normal gossip. reg selects the metrics
 // registry (nil = obs.Default).
 func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResult, error) {
+	return FastSyncWithLog(dataDir, peer, reg, nil)
+}
+
+// FastSyncWithLog is FastSync with structured progress and rejection
+// events on log (nil disables them).
+func FastSyncWithLog(dataDir string, peer QueryNode, reg *obs.Registry, log *obs.Logger) (*FastSyncResult, error) {
 	if reg == nil {
 		reg = obs.Default
 	}
+	log = log.With("fastsync")
 	offer, err := peer.SnapshotOffer()
 	if err != nil {
 		return nil, err
 	}
 	if err := checkOffer(offer); err != nil {
+		log.Warn("snapshot offer rejected", "err", err)
 		return nil, err
 	}
+	log.Info("snapshot offer accepted",
+		"height", offer.Height, "bytes", offer.Size, "chunks", offer.Chunks)
 
 	// The header chain is the consensus-agreed spine: verify linkage and
 	// signatures first, then demand the offered anchor sits on it.
@@ -305,7 +315,7 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 	if err != nil {
 		return nil, err
 	}
-	res, err := fastSyncInto(eng, offer, headers, peer, reg)
+	res, err := fastSyncInto(eng, offer, headers, peer, reg, log)
 	cerr := eng.Close()
 	if err != nil {
 		return nil, err
@@ -313,13 +323,15 @@ func FastSync(dataDir string, peer QueryNode, reg *obs.Registry) (*FastSyncResul
 	if cerr != nil {
 		return nil, cerr
 	}
+	log.Info("fast-sync complete",
+		"height", res.CheckpointHeight, "blocks", res.Blocks, "chunk_bytes", res.ChunkBytes)
 	return res, nil
 }
 
 // fastSyncInto streams and verifies the chain into eng, rebuilds the
 // derived state, cross-checks the peer's checkpoint and persists the
 // local one. It never closes eng.
-func fastSyncInto(eng *core.Engine, offer *SnapshotOffer, headers []types.BlockHeader, peer QueryNode, reg *obs.Registry) (*FastSyncResult, error) {
+func fastSyncInto(eng *core.Engine, offer *SnapshotOffer, headers []types.BlockHeader, peer QueryNode, reg *obs.Registry, log *obs.Logger) (*FastSyncResult, error) {
 	if eng.Height() != 0 {
 		return nil, fmt.Errorf("node: fast-sync needs an empty data directory (found %d blocks)", eng.Height())
 	}
@@ -409,6 +421,8 @@ func fastSyncInto(eng *core.Engine, offer *SnapshotOffer, headers []types.BlockH
 	}
 	if err := snapshot.Diverges(ck, local); err != nil {
 		reg.Counter("sebdb_fastsync_divergent_checkpoints_total").Inc()
+		log.Error("peer checkpoint diverges from local rebuild",
+			"height", ck.Height, "err", err)
 		return nil, fmt.Errorf("node: peer checkpoint rejected: %w", err)
 	}
 	if err := eng.SnapshotDir().Write(local); err != nil {

@@ -127,6 +127,7 @@ type histJSON struct {
 	Bounds []int64  `json:"bounds"`
 	Counts []uint64 `json:"counts"`
 	P50    float64  `json:"p50"`
+	P90    float64  `json:"p90"`
 	P99    float64  `json:"p99"`
 }
 
@@ -159,6 +160,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			Bounds: s.Bounds,
 			Counts: s.Counts,
 			P50:    s.Quantile(0.50),
+			P90:    s.Quantile(0.90),
 			P99:    s.Quantile(0.99),
 		}
 	}

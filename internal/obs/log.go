@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Logger is SEBDB's structured, leveled event log: one JSON object per
+// line on an injectable sink, timestamps from the registry clock, and a
+// bounded in-memory ring of recent events behind /debug/log. Like
+// spans, a nil *Logger is a valid disabled logger — every method is a
+// no-op — so instrumented code needs no guards and pays one nil check
+// when logging is off.
+
+// Level orders event severities.
+type Level int32
+
+// The four event levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level name ("debug", "info", "warn", "error").
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a level name to its Level (defaulting to LevelInfo
+// for unknown names).
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "info":
+		return LevelInfo
+	case "warn":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Event is one structured log record.
+type Event struct {
+	Micros    int64          `json:"micros"`
+	Level     string         `json:"level"`
+	Component string         `json:"component,omitempty"`
+	Msg       string         `json:"msg"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// eventRing is a fixed-capacity circular buffer of events.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int
+}
+
+func (rg *eventRing) push(ev Event) {
+	rg.mu.Lock()
+	rg.buf[rg.next] = ev
+	rg.next = (rg.next + 1) % len(rg.buf)
+	if rg.n < len(rg.buf) {
+		rg.n++
+	}
+	rg.mu.Unlock()
+}
+
+func (rg *eventRing) snapshot() []Event {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	out := make([]Event, 0, rg.n)
+	for i := 1; i <= rg.n; i++ {
+		out = append(out, rg.buf[(rg.next-i+len(rg.buf))%len(rg.buf)])
+	}
+	return out
+}
+
+// logCore is the shared state behind a Logger and all its With
+// derivatives: one sink, one ring, one level gate.
+type logCore struct {
+	reg  *Registry
+	min  atomic.Int32
+	ring eventRing
+
+	mu   sync.Mutex
+	sink io.Writer
+}
+
+// Logger emits structured events for one component. Derive per-
+// component loggers with With; they share the sink, ring and level.
+type Logger struct {
+	core      *logCore
+	component string
+}
+
+// NewLogger builds a logger writing JSON lines to sink (nil for
+// ring-only logging) with timestamps from reg's clock (Default when
+// nil), dropping events below min. The event ring keeps the last 512
+// events for /debug/log.
+func NewLogger(reg *Registry, sink io.Writer, min Level) *Logger {
+	if reg == nil {
+		reg = Default
+	}
+	c := &logCore{reg: reg, sink: sink}
+	c.min.Store(int32(min))
+	c.ring.buf = make([]Event, 512)
+	return &Logger{core: c}
+}
+
+// With returns a logger tagging events with the given component name.
+// Nil-safe: a nil logger derives a nil logger.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{core: l.core, component: component}
+}
+
+// SetLevel changes the minimum level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l == nil {
+		return
+	}
+	l.core.min.Store(int32(min))
+}
+
+// Enabled reports whether events at lv would be emitted; use it to skip
+// building expensive field sets.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.core.min.Load()
+}
+
+// emit builds, rings, and writes one event. kv is alternating
+// key/value pairs; a trailing odd key is kept with a nil value rather
+// than dropped.
+func (l *Logger) emit(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ev := Event{
+		Micros:    l.core.reg.Now(),
+		Level:     lv.String(),
+		Component: l.component,
+		Msg:       msg,
+	}
+	if len(kv) > 0 {
+		ev.Fields = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			k, ok := kv[i].(string)
+			if !ok {
+				k = "!badkey"
+			}
+			var v any
+			if i+1 < len(kv) {
+				v = kv[i+1]
+			}
+			if err, isErr := v.(error); isErr && err != nil {
+				v = err.Error()
+			}
+			ev.Fields[k] = v
+		}
+	}
+	l.core.ring.push(ev)
+	l.core.mu.Lock()
+	defer l.core.mu.Unlock()
+	if l.core.sink == nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if _, err := l.core.sink.Write(append(line, '\n')); err != nil {
+		return
+	}
+}
+
+// Debug emits a debug-level event.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info emits an info-level event.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn emits a warn-level event.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error emits an error-level event.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+// Events returns the ring's recent events, newest first (nil for a nil
+// logger).
+func (l *Logger) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.core.ring.snapshot()
+}
+
+// LogHandler serves the logger's event ring as JSON on /debug/log.
+// Query parameters: level=<name> keeps only that level and above,
+// n=<k> caps the result count.
+func LogHandler(l *Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		evs := l.Events()
+		if evs == nil {
+			evs = []Event{}
+		}
+		q := req.URL.Query()
+		if name := q.Get("level"); name != "" {
+			floor := ParseLevel(name)
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ParseLevel(ev.Level) >= floor {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if n, err := strconv.Atoi(q.Get("n")); err == nil && n >= 0 && n < len(evs) {
+			evs = evs[:n]
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(evs); err != nil {
+			return
+		}
+	})
+}

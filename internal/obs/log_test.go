@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoggerEmitsJSONLines checks the sink format, the component tag,
+// the kv handling (pairs, errors, bad keys, trailing odd key) and the
+// injected clock.
+func TestLoggerEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(NewRegistry(clockAt(42)), &buf, LevelDebug).With("core")
+
+	l.Info("block committed", "height", 7, "err", errors.New("partial"), 3, "x", "trailing")
+	line := strings.TrimSpace(buf.String())
+	var ev Event
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("sink line is not JSON: %v (%q)", err, line)
+	}
+	if ev.Micros != 42 || ev.Level != "info" || ev.Component != "core" || ev.Msg != "block committed" {
+		t.Errorf("event header = %+v", ev)
+	}
+	if ev.Fields["height"] != float64(7) {
+		t.Errorf("height field = %v", ev.Fields["height"])
+	}
+	if ev.Fields["err"] != "partial" {
+		t.Errorf("error value not stringified: %v", ev.Fields["err"])
+	}
+	if _, ok := ev.Fields["!badkey"]; !ok {
+		t.Errorf("non-string key not tagged: %v", ev.Fields)
+	}
+	if v, ok := ev.Fields["trailing"]; !ok || v != nil {
+		t.Errorf("trailing odd key mishandled: %v, %v", v, ok)
+	}
+}
+
+// TestLoggerLevelGate checks the floor drops events, SetLevel moves it
+// at runtime, and Enabled mirrors the gate.
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(NewRegistry(clockAt(0)), &buf, LevelWarn)
+
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	if got := len(l.Events()); got != 2 {
+		t.Fatalf("%d events passed a warn floor, want 2", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the floor")
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("d2")
+	if evs := l.Events(); len(evs) != 3 || evs[0].Msg != "d2" {
+		t.Errorf("SetLevel(debug) did not open the gate: %v", evs)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("sink got %d lines, want 3", lines)
+	}
+}
+
+// TestLoggerNilSafety drives every method on a nil logger.
+func TestLoggerNilSafety(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b", "k", "v")
+	l.Warn("c")
+	l.Error("d")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+	if l.With("x") != nil {
+		t.Error("nil logger With must stay nil")
+	}
+	if l.Events() != nil {
+		t.Error("nil logger has events")
+	}
+}
+
+// TestLoggerRingBounded overfills the 512-event ring and checks it
+// keeps only the newest events.
+func TestLoggerRingBounded(t *testing.T) {
+	l := NewLogger(NewRegistry(clockAt(0)), nil, LevelInfo)
+	for i := 0; i < 1000; i++ {
+		l.Info("e", "i", i)
+	}
+	evs := l.Events()
+	if len(evs) != 512 {
+		t.Fatalf("ring holds %d events, want 512", len(evs))
+	}
+	if evs[0].Fields["i"] != 999 {
+		t.Errorf("newest event i = %v, want 999", evs[0].Fields["i"])
+	}
+}
+
+// TestLogHandler serves the ring over HTTP with level and count
+// filters; nil loggers serve an empty list.
+func TestLogHandler(t *testing.T) {
+	l := NewLogger(NewRegistry(clockAt(5)), nil, LevelDebug).With("test")
+	l.Debug("fine detail")
+	l.Info("steady state")
+	l.Warn("looking odd")
+	l.Error("on fire")
+
+	srv := httptest.NewServer(LogHandler(l))
+	defer srv.Close()
+	get := func(path string) []Event {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []Event
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+
+	if evs := get("/"); len(evs) != 4 || evs[0].Msg != "on fire" {
+		t.Errorf("unfiltered = %v", evs)
+	}
+	if evs := get("/?level=warn"); len(evs) != 2 {
+		t.Errorf("level=warn returned %d events, want 2", len(evs))
+	}
+	if evs := get("/?n=1"); len(evs) != 1 || evs[0].Msg != "on fire" {
+		t.Errorf("n=1 = %v", evs)
+	}
+
+	nilSrv := httptest.NewServer(LogHandler(nil))
+	defer nilSrv.Close()
+	resp, err := nilSrv.Client().Get(nilSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []Event
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || len(out) != 0 {
+		t.Errorf("nil logger handler returned %v, %v; want empty list", out, err)
+	}
+}
+
+// TestLoggerConcurrent hammers one core from many components while a
+// reader drains the ring — the logger's -race gate.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewLogger(NewRegistry(clockAt(1)), &buf, LevelDebug)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := root.With("worker")
+			for i := 0; i < 200; i++ {
+				l.Info("tick", "worker", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = root.Events()
+		}
+	}()
+	wg.Wait()
+	if lines := strings.Count(buf.String(), "\n"); lines != 8*200 {
+		t.Errorf("sink got %d lines, want %d", lines, 8*200)
+	}
+}

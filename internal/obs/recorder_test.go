@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRecorderSamplingDeterministic pins the sampling schedule and the
+// trace IDs: both derive only from the statement sequence and the
+// injected clock, so a fixed clock sees fixed IDs.
+func TestRecorderSamplingDeterministic(t *testing.T) {
+	clk := &stepClock{now: 1000}
+	r := NewRecorder(RecorderConfig{Registry: NewRegistry(clk.src), SampleEvery: 3})
+
+	var sampled []uint64
+	for i := 0; i < 9; i++ {
+		ctx, st := r.Begin(context.Background(), "SELECT 1")
+		if st != nil {
+			sampled = append(sampled, st.seq)
+			if FromContext(ctx) == nil {
+				t.Fatalf("statement %d sampled but context carries no span", i)
+			}
+		}
+		st.Finish(nil)
+	}
+	// seq%3==1: statements 1, 4, 7 — the first is always sampled.
+	if len(sampled) != 3 || sampled[0] != 1 || sampled[1] != 4 || sampled[2] != 7 {
+		t.Fatalf("sampled seqs = %v, want [1 4 7]", sampled)
+	}
+
+	// Same seq + same clock => same ID, different seq => different ID.
+	if a, b := traceID(1, 1000), traceID(1, 1000); a != b {
+		t.Errorf("traceID not deterministic: %q != %q", a, b)
+	}
+	if a, b := traceID(1, 1000), traceID(2, 1000); a == b {
+		t.Errorf("distinct seqs collided: %q", a)
+	}
+	recent := r.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent ring has %d records, want 3", len(recent))
+	}
+	// Newest first: seq 7, 4, 1; IDs recomputable from (seq, start).
+	for i, wantSeq := range []uint64{7, 4, 1} {
+		rec := recent[i]
+		if rec.Seq != wantSeq {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, rec.Seq, wantSeq)
+		}
+		if rec.ID != traceID(rec.Seq, rec.StartMicros) {
+			t.Errorf("recent[%d].ID = %q, want %q", i, rec.ID, traceID(rec.Seq, rec.StartMicros))
+		}
+	}
+}
+
+// TestRecorderSlowPromotion covers both slow paths: a sampled slow
+// statement keeps its span tree, and an unsampled one is promoted with
+// a synthesized span-less record.
+func TestRecorderSlowPromotion(t *testing.T) {
+	clk := &stepClock{}
+	r := NewRecorder(RecorderConfig{Registry: NewRegistry(clk.src), SampleEvery: 2, SlowMicros: 100})
+
+	// seq 1: sampled, fast (50µs) — recent only.
+	ctx, st := r.Begin(context.Background(), "fast")
+	_, sp := StartSpan(ctx, "parse")
+	sp.Finish()
+	clk.now += 50
+	st.Finish(nil)
+
+	// seq 2: unsampled, slow (200µs) — promoted without a span tree.
+	_, st = r.Begin(context.Background(), "slow unsampled")
+	if st.Span() != nil {
+		t.Fatal("unsampled statement has a root span")
+	}
+	clk.now += 200
+	st.Finish(errors.New("boom"))
+
+	// seq 3: sampled, slow — lands in both rings with its tree.
+	ctx, st = r.Begin(context.Background(), "slow sampled")
+	st.SetStage("select")
+	_, sp = StartSpan(ctx, "exec.select.scan")
+	sp.Finish()
+	clk.now += 300
+	st.Finish(nil)
+
+	slow := r.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow ring has %d records, want 2", len(slow))
+	}
+	if slow[0].Root == nil || slow[0].Stage != "stmt.select" || !slow[0].Slow {
+		t.Errorf("sampled slow record malformed: %+v", slow[0])
+	}
+	if len(slow[0].Root.Children()) != 1 {
+		t.Errorf("sampled slow record lost its span tree")
+	}
+	if slow[1].Root != nil || slow[1].Micros != 200 || slow[1].Err != "boom" {
+		t.Errorf("unsampled slow record malformed: %+v", slow[1])
+	}
+	if slow[1].ID == "" || slow[1].ID != traceID(slow[1].Seq, slow[1].StartMicros) {
+		t.Errorf("unsampled slow record ID %q not synthesized deterministically", slow[1].ID)
+	}
+	if recent := r.Recent(); len(recent) != 2 {
+		t.Errorf("recent ring has %d records, want 2 (unsampled statements stay out)", len(recent))
+	}
+}
+
+// TestRecorderDeclinesNestedTrace pins EXPLAIN ANALYZE behaviour: a
+// statement already under a span must not be double-traced.
+func TestRecorderDeclinesNestedTrace(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Registry: NewRegistry(clockAt(0))})
+	ctx, _ := NewTrace(context.Background(), NewRegistry(clockAt(0)), "outer")
+	if _, st := r.Begin(ctx, "inner"); st != nil {
+		t.Fatal("Begin traced a statement already inside a trace")
+	}
+}
+
+// TestRecorderBoundedMemory fills the rings far past capacity and
+// checks they never grow beyond it.
+func TestRecorderBoundedMemory(t *testing.T) {
+	clk := &stepClock{}
+	r := NewRecorder(RecorderConfig{
+		Registry: NewRegistry(clk.src), SlowMicros: 1, RecentCap: 8, SlowCap: 4,
+	})
+	for i := 0; i < 100; i++ {
+		_, st := r.Begin(context.Background(), "stmt")
+		clk.now += 10
+		st.Finish(nil)
+	}
+	if got := len(r.Recent()); got != 8 {
+		t.Errorf("recent ring holds %d records, want capacity 8", got)
+	}
+	if got := len(r.Slow()); got != 4 {
+		t.Errorf("slow ring holds %d records, want capacity 4", got)
+	}
+	// Newest-first over the survivors: the last pushes win.
+	if r.Recent()[0].Seq != 100 || r.Recent()[7].Seq != 93 {
+		t.Errorf("recent ring did not keep the newest records: %d..%d",
+			r.Recent()[0].Seq, r.Recent()[7].Seq)
+	}
+}
+
+// TestRecorderNilSafety exercises the whole API on a nil recorder and a
+// nil statement — the disabled configuration every call site relies on.
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, st := r.Begin(context.Background(), "SELECT 1")
+	if ctx == nil || st != nil {
+		t.Fatal("nil recorder Begin must return the context and a nil statement")
+	}
+	st.SetStage("select")
+	if st.Span() != nil {
+		t.Error("nil statement has a span")
+	}
+	st.Finish(nil)
+	if r.Recent() != nil || r.Slow() != nil || r.SlowMicros() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+
+	srv := httptest.NewServer(TracesHandler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || len(out) != 0 {
+		t.Errorf("nil recorder handler returned %v, %v; want empty list", out, err)
+	}
+}
+
+// TestRecorderConcurrentCapture hammers the recorder from parallel
+// statement runners while scrapers snapshot both rings and the HTTP
+// handler — run under -race this is the recorder's data-race gate.
+func TestRecorderConcurrentCapture(t *testing.T) {
+	// A race-safe ticking clock: every read advances one microsecond, so
+	// every statement has a positive duration and trips SlowMicros.
+	var tick atomic.Int64
+	r := NewRecorder(RecorderConfig{
+		Registry:    NewRegistry(func() int64 { return tick.Add(1) }),
+		SampleEvery: 2, SlowMicros: 1, RecentCap: 32, SlowCap: 16,
+	})
+	srv := httptest.NewServer(TracesHandler(r))
+	defer srv.Close()
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, st := r.Begin(context.Background(), fmt.Sprintf("stmt %d/%d", w, i))
+				st.SetStage("insert")
+				if _, sp := StartSpan(ctx, "exec.insert"); sp != nil {
+					sp.AddCounter("txs_examined", 1)
+					sp.Finish()
+				}
+				var err error
+				if i%3 == 0 {
+					err = errors.New("synthetic")
+				}
+				st.Finish(err)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.Recent()
+			_ = r.Slow()
+			resp, err := srv.Client().Get(srv.URL + "?ring=slow&min_micros=0")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := len(r.Recent()); got != 32 {
+		t.Errorf("recent ring holds %d records after the stress, want 32", got)
+	}
+	if got := len(r.Slow()); got != 16 {
+		t.Errorf("slow ring holds %d records after the stress, want 16", got)
+	}
+}
+
+// clockAt returns a fixed clock source, the registry-facing shape of
+// clock.Fixed without importing it into the package under test.
+func clockAt(ts int64) func() int64 { return func() int64 { return ts } }

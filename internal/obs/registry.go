@@ -250,6 +250,23 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
+// Histograms snapshots every registered histogram by name, for callers
+// (bchainbench quantile output) that need to enumerate rather than
+// look up.
+func (r *Registry) Histograms() map[string]HistSnapshot {
+	r.mu.RLock()
+	hs := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	r.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(hs))
+	for k, v := range hs {
+		out[k] = v.Snapshot()
+	}
+	return out
+}
+
 // RegisterFunc registers (or replaces) a metric computed at scrape
 // time. fn must be safe for concurrent use.
 func (r *Registry) RegisterFunc(name string, typ MetricType, fn func() int64) {

@@ -116,8 +116,23 @@ func (s *Span) Finish() {
 	s.done = true
 	s.end = s.reg.Now()
 	d := s.end - s.start
+	name := s.name
 	s.mu.Unlock()
-	s.reg.Histogram(`sebdb_stage_micros{stage="` + s.name + `"}`).Observe(d)
+	s.reg.Histogram(`sebdb_stage_micros{stage="` + name + `"}`).Observe(d)
+}
+
+// rename replaces the span's stage name. The flight recorder opens every
+// statement's root span before the SQL text is parsed, then renames it
+// to the per-kind stage ("stmt.select", ...) once the statement kind is
+// known; rename must happen before Finish for the histogram to see the
+// final name.
+func (s *Span) rename(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.name = name
+	s.mu.Unlock()
 }
 
 // SetCounter sets a named counter on the span, replacing any prior
@@ -158,6 +173,8 @@ func (s *Span) Name() string {
 	if s == nil {
 		return ""
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.name
 }
 

@@ -176,3 +176,15 @@ type Explain struct {
 }
 
 func (*Explain) stmt() {}
+
+// ShowTraces is SHOW [SLOW] TRACES [LIMIT n] — node-local introspection
+// over the statement flight recorder. SHOW TRACES lists the most recent
+// sampled statements, SHOW SLOW TRACES the captured slow statements.
+type ShowTraces struct {
+	// Slow selects the slow-query ring instead of the recent ring.
+	Slow bool
+	// Limit caps the number of traces rendered (0 = all retained).
+	Limit int
+}
+
+func (*ShowTraces) stmt() {}

@@ -85,9 +85,31 @@ func (p *parser) statement() (Statement, error) {
 		return p.getBlock()
 	case p.accept(tkIdent, "explain"):
 		return p.explain()
+	case p.accept(tkIdent, "show"):
+		return p.showTraces()
 	default:
 		return nil, p.errf("unknown statement %q", p.peek().text)
 	}
+}
+
+// showTraces parses SHOW [SLOW] TRACES [LIMIT n].
+func (p *parser) showTraces() (Statement, error) {
+	s := &ShowTraces{Slow: p.accept(tkIdent, "slow")}
+	if _, err := p.expect(tkIdent, "traces"); err != nil {
+		return nil, err
+	}
+	if p.accept(tkIdent, "limit") {
+		n, err := p.expect(tkNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+		s.Limit = v
+	}
+	return s, nil
 }
 
 // explain parses EXPLAIN [ANALYZE] <statement>.

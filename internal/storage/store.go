@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"sebdb/internal/faultfs"
+	"sebdb/internal/obs"
 	"sebdb/internal/types"
 )
 
@@ -62,6 +63,9 @@ type Options struct {
 	// FS is the filesystem the store operates on. Nil means the real
 	// OS filesystem; tests inject faultfs fault models here.
 	FS faultfs.FS
+	// Log receives structured storage events (segment rolls, torn-tail
+	// truncation). Nil disables them.
+	Log *obs.Logger
 }
 
 // Store is an append-only block store over a directory of segment files.
@@ -168,6 +172,8 @@ func (s *Store) repairTail(n uint32, valid int64) error {
 	if err := s.fs.Truncate(path, valid); err != nil {
 		return fmt.Errorf("storage: truncating torn tail of %s: %w", path, err)
 	}
+	s.opts.Log.Warn("torn tail truncated",
+		"segment", path, "dropped_bytes", fi.Size()-valid, "valid_bytes", valid)
 	return nil
 }
 
@@ -379,6 +385,7 @@ func (s *Store) rollSegment() error {
 		return fmt.Errorf("storage: %w", err)
 	}
 	s.cur = f
+	s.opts.Log.Info("segment rolled", "segment", s.segPath(s.curSeg), "blocks", len(s.locs))
 	return nil
 }
 

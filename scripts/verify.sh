@@ -22,10 +22,10 @@ echo "== sebdb-vet =="
 go run ./cmd/sebdb-vet ./...
 
 echo "== sebdb-vet self-test (fixture expected-findings diff) =="
-# The lint fixtures seed one violation per analyzer (lockio/trusttaint
-# included); these tests diff sebdb-vet's findings against the fixtures'
-# want-comments and the CLI golden file, so analyzer regressions fail
-# the gate like any other bug.
+# The lint fixtures seed one violation per analyzer (lockio/trusttaint/
+# rawlog included); these tests diff sebdb-vet's findings against the
+# fixtures' want-comments and the CLI golden file, so analyzer
+# regressions fail the gate like any other bug.
 go test -count=1 ./internal/lint/... ./cmd/sebdb-vet
 
 echo "== go build =="
@@ -53,8 +53,11 @@ echo "== read view stress (-race) =="
 go test -race -run 'TestView|TestCreateRollsBack|TestCreateKept|TestDeployContractRollsBack' \
     ./internal/core
 
-echo "== metrics endpoint smoke =="
-go test -race -run TestMetricsEndpoints ./cmd/sebdb-server
+echo "== metrics + flight-recorder endpoint smoke =="
+# TestTraceLogEndpoints scrapes /debug/traces (recent + slow rings,
+# filters) and /debug/log over a live engine; TestMetricsEndpoints
+# covers /metrics, /debug/vars and the nil recorder/logger paths.
+go test -race -run 'TestMetricsEndpoints|TestTraceLogEndpoints' ./cmd/sebdb-server
 
 echo "== bchainbench -json smoke =="
 json_out=$(mktemp)
