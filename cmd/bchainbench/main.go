@@ -7,11 +7,13 @@
 //	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] \
 //	    [-json PATH] [-trace-sample N]
 //
-//	-fig F     regenerate only figure F: a number (7..25) or a name —
+//	-fig F     regenerate only figure F: a number (7..26) or a name —
 //	           "parallel" (23, the read-pipeline scaling sweep),
-//	           "recovery" (24, the checkpoint restart/fast-sync sweep)
-//	           or "readview" (25, read throughput through the
-//	           height-pinned views while commits run); default all
+//	           "recovery" (24, the checkpoint restart/fast-sync sweep),
+//	           "readview" (25, read throughput through the
+//	           height-pinned views while commits run) or "replicas"
+//	           (26, aggregate read throughput and lag across a
+//	           streaming-replication fleet); default all
 //	-scale S   dataset scale relative to paper sizes (default 0.05;
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;

@@ -8,7 +8,13 @@
 //
 //	sebdb-cli -dir ./sebdb-data            # embedded engine
 //	sebdb-cli -connect 127.0.0.1:7070      # remote node
+//	sebdb-cli -connect 127.0.0.1:7070 \
+//	    -replica 127.0.0.1:7071 -replica 127.0.0.1:7072
 //	echo 'SELECT * FROM donate' | sebdb-cli -dir ./data
+//
+// With -replica (repeatable) reads (SELECT/TRACE/EXPLAIN/GET BLOCK/SHOW
+// TRACES) round-robin over the replicas, falling back to the -connect
+// leader when a replica is unreachable; writes always go to the leader.
 package main
 
 import (
@@ -17,17 +23,34 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sebdb/internal/core"
 	"sebdb/internal/node"
+	"sebdb/internal/thinclient"
 )
 
 // executor abstracts local vs remote execution.
 type executor func(sql string) (*core.Result, error)
 
+// replicaList collects repeatable -replica flags.
+type replicaList []string
+
+// String renders the accumulated values for flag's usage output.
+func (l *replicaList) String() string { return strings.Join(*l, ",") }
+
+// Set appends one occurrence of the repeatable flag.
+func (l *replicaList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
 	dir := flag.String("dir", "", "local data directory (embedded mode)")
-	connect := flag.String("connect", "", "remote node address")
+	connect := flag.String("connect", "", "remote node address (the leader when replicas are given)")
+	callTimeout := flag.Duration("call-timeout", 10*time.Second, "deadline per request/response exchange (0 = none)")
+	var replicas replicaList
+	flag.Var(&replicas, "replica", "read replica address; reads round-robin over replicas with leader fallback (repeatable)")
 	flag.Parse()
 
 	var run executor
@@ -39,7 +62,26 @@ func main() {
 			os.Exit(1)
 		}
 		defer remote.Close() //sebdb:ignore-err connection teardown at process exit
-		run = remote.SQL
+		remote.TuneCalls(*callTimeout, 1, 100*time.Millisecond)
+		if len(replicas) == 0 {
+			run = remote.SQL
+			break
+		}
+		fleet := make([]node.QueryNode, 0, len(replicas))
+		for _, addr := range replicas {
+			rep, err := node.DialNode(addr)
+			if err != nil {
+				// The router falls back to the leader for any read a
+				// replica cannot serve; a dead replica at startup just
+				// shrinks the fleet.
+				fmt.Fprintln(os.Stderr, "replica unreachable, skipping:", addr, err)
+				continue
+			}
+			defer rep.Close() //sebdb:ignore-err connection teardown at process exit
+			rep.TuneCalls(*callTimeout, 1, 100*time.Millisecond)
+			fleet = append(fleet, rep)
+		}
+		run = thinclient.NewRouter(remote, fleet...).SQL
 	case *dir != "":
 		engine, err := core.Open(core.Config{Dir: *dir})
 		if err != nil {

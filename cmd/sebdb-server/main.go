@@ -7,6 +7,7 @@
 //	sebdb-server -dir ./data -listen 127.0.0.1:7070 \
 //	    [-peer host:port]... [-signer node0] [-auth table.col]... \
 //	    [-parallel N] [-sync] [-checkpoint-interval N] [-fast-sync] \
+//	    [-follow host:port] [-call-timeout 5s] [-call-retries 1] \
 //	    [-trace-sample N] [-slow-query-micros N] [-log-level info]
 //
 // A standalone node packages its own blocks (submit transactions via
@@ -15,6 +16,14 @@
 // checkpoints its derived state every N blocks so restarts replay only
 // the post-checkpoint suffix; with -fast-sync an empty node bootstraps
 // by fetching a peer's checkpoint before opening the engine.
+//
+// With -follow the node runs as a read replica: it bootstraps from the
+// leader (fast-sync when the data directory is fresh), subscribes to the
+// leader's block stream, re-verifies and applies every pushed block
+// locally, and serves SELECT/TRACE and authenticated queries from its
+// own height-pinned views at bounded staleness (sebdb_replica_lag_blocks
+// on /metrics). Local writes are rejected with core.ErrFollower; point
+// sebdb-cli's -replica routing or writes at the leader instead.
 //
 // Diagnostics are structured JSON events on stderr (-log-level selects
 // the floor); the flight recorder keeps the last sampled statement
@@ -33,9 +42,12 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"sebdb/internal/core"
 	"sebdb/internal/node"
 	"sebdb/internal/obs"
+	"sebdb/internal/replica"
 )
 
 type listFlag []string
@@ -63,6 +75,9 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "trace one statement in every N (1 = every statement)")
 	slowMicros := flag.Int64("slow-query-micros", 100_000, "capture any statement at or above this latency into the slow-query ring regardless of sampling (0 = disabled)")
 	logLevel := flag.String("log-level", "info", "structured event log floor: debug | info | warn | error")
+	follow := flag.String("follow", "", "run as a read replica tailing this leader address; local writes are rejected and the chain advances only through the verified block stream")
+	callTimeout := flag.Duration("call-timeout", 0, "deadline per peer request/response exchange (0 = none)")
+	callRetries := flag.Int("call-retries", 1, "redial-and-resend attempts after a transport failure on a peer call")
 	var peers, authIdx listFlag
 	flag.Var(&peers, "peer", "peer address (repeatable)")
 	flag.Var(&authIdx, "auth", "authenticated index to maintain, as table.col or .systemcol (repeatable)")
@@ -92,14 +107,29 @@ func main() {
 	// directory in place, Open seeds every index from the checkpoint and
 	// replays nothing. A failed attempt (no peer checkpoint, non-empty
 	// dir, verification failure) degrades to a normal open + gossip sync.
-	if *fastSync {
+	// A follower bootstraps the same way from its leader — the stream
+	// then carries it from wherever fast-sync (or an empty open) left it.
+	syncSources := peers
+	if *follow != "" {
+		syncSources = append(listFlag{*follow}, peers...)
+	}
+	bootstrap := *fastSync
+	if *follow != "" && !bootstrap {
+		// A follower bootstraps automatically when its data directory is
+		// fresh; on restart it resumes from its cursor instead.
+		if ents, err := os.ReadDir(*dir); err != nil || len(ents) == 0 {
+			bootstrap = true
+		}
+	}
+	if bootstrap {
 		synced := false
-		for _, p := range peers {
+		for _, p := range syncSources {
 			remote, err := node.DialNode(p)
 			if err != nil {
 				log.Warn("fast-sync peer dial failed", "peer", p, "err", err)
 				continue
 			}
+			remote.TuneCalls(*callTimeout, *callRetries, 100*time.Millisecond)
 			res, err := node.FastSyncWithLog(*dir, remote, obs.Default, logger)
 			if cerr := remote.Close(); cerr != nil {
 				log.Warn("fast-sync peer close failed", "peer", p, "err", cerr)
@@ -176,16 +206,31 @@ func main() {
 	}
 	fmt.Printf("sebdb-server: %s serving on %s, height %d\n", *signer, addr, engine.Height())
 
+	if *follow != "" {
+		// Follower mode: reject local writes (the leader is the only
+		// write target) and tail the leader's block stream, re-verifying
+		// and applying every pushed block. Reads keep being served from
+		// this node's own height-pinned views.
+		engine.SetFollower(true)
+		f := replica.StartFollower(engine, replica.FollowerConfig{
+			Leader: *follow,
+			Log:    logger,
+		})
+		defer f.Stop()
+		fmt.Printf("sebdb-server: following leader %s from height %d\n", *follow, engine.Height())
+	}
+
 	for _, p := range peers {
 		remote, err := node.DialNode(p)
 		if err != nil {
 			log.Warn("peer dial failed", "peer", p, "err", err)
 			continue
 		}
+		remote.TuneCalls(*callTimeout, *callRetries, 100*time.Millisecond)
 		n.Gossip.AddPeer(remote)
 		fmt.Printf("sebdb-server: gossiping with %s\n", p)
 	}
-	if len(peers) > 0 {
+	if len(peers) > 0 && *follow == "" {
 		n.Gossip.Start()
 	}
 

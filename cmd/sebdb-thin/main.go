@@ -6,12 +6,18 @@
 // Usage:
 //
 //	sebdb-thin -node 127.0.0.1:7070 [-aux host:port]... \
+//	    [-replica host:port]... \
 //	    -table donate -col amount -lo 100 -hi 250 \
 //	    [-m 2] [-p 0.25] [-max 1]
 //
 // The queried column must have an authenticated index on the nodes
 // (sebdb-server -auth table.col). System columns use -table "" (e.g.
 // -col senid -lo org1 -hi org1 for authenticated tracking).
+//
+// With -replica (repeatable) the phase-one verification object comes
+// from a read replica and every other node — the -node leader included —
+// joins the phase-two auxiliary set, so VO generation scales with the
+// fleet while a lying replica still cannot assemble a digest quorum.
 package main
 
 import (
@@ -57,8 +63,9 @@ func main() {
 	m := flag.Int("m", 0, "identical digests required (default majority)")
 	p := flag.Float64("p", 0.25, "assumed Byzantine ratio for the risk report")
 	maxByz := flag.Int("max", 1, "maximum Byzantine nodes for the risk report")
-	var auxAddrs listFlag
+	var auxAddrs, replicaAddrs listFlag
 	flag.Var(&auxAddrs, "aux", "auxiliary full node (repeatable)")
+	flag.Var(&replicaAddrs, "replica", "read replica; serves the phase-one VO while the leader joins the auxiliaries (repeatable)")
 	flag.Parse()
 
 	log := obs.NewLogger(obs.Default, os.Stderr, obs.LevelInfo).With("thin")
@@ -84,6 +91,23 @@ func main() {
 		defer r.Close() //sebdb:ignore-err connection teardown at process exit
 		aux = append(aux, r)
 	}
+	phase1 := node.QueryNode(full)
+	if len(replicaAddrs) > 0 {
+		var reps []node.QueryNode
+		for _, a := range replicaAddrs {
+			r, err := node.DialNode(a)
+			if err != nil {
+				log.Error("replica dial failed", "replica", a, "err", err)
+				os.Exit(1)
+			}
+			defer r.Close() //sebdb:ignore-err connection teardown at process exit
+			reps = append(reps, r)
+		}
+		router := thinclient.NewRouter(full, reps...)
+		var routed []node.QueryNode
+		phase1, routed = router.AuthTargets()
+		aux = append(aux, routed...)
+	}
 	if len(aux) == 0 {
 		log.Warn("no -aux nodes; the answer's snapshot digest is unconfirmed")
 		aux = []node.QueryNode{full} // degenerate: self-confirmation
@@ -101,7 +125,7 @@ func main() {
 		Lo: parseBound(*lo), Hi: parseBound(*hi),
 	}
 	start := time.Now()
-	txs, stats, err := tc.AuthQuery(full, aux, req, thinclient.Options{
+	txs, stats, err := tc.AuthQuery(phase1, aux, req, thinclient.Options{
 		M: *m, ByzantineRatio: *p, MaxByzantine: *maxByz,
 	})
 	if err != nil {

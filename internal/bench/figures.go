@@ -15,16 +15,19 @@ type Figure struct {
 }
 
 // Figures lists every evaluation figure of the paper in order, plus
-// three of our own: 23, the parallel read pipeline's worker-scaling
+// four of our own: 23, the parallel read pipeline's worker-scaling
 // sweep; 24, the checkpoint subsystem's restart/fast-sync recovery
 // sweep (the paper's runs are single-threaded and replay the full chain
-// on every start); and 25, read throughput through the height-pinned
-// views while the commit pipeline runs beside the readers.
+// on every start); 25, read throughput through the height-pinned views
+// while the commit pipeline runs beside the readers; and 26, aggregate
+// read throughput across a streaming-replication fleet versus replica
+// count.
 var Figures = []Figure{
 	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
 	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
 	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
 	{22, Fig22}, {23, FigParallel}, {24, FigRecovery}, {25, FigReadView},
+	{26, FigReplicas},
 }
 
 // figureNames maps the named (non-paper) figures to their numbers, so
@@ -33,11 +36,12 @@ var figureNames = map[string]int{
 	"parallel": 23,
 	"recovery": 24,
 	"readview": 25,
+	"replicas": 26,
 }
 
 // FigureNum resolves a figure selector: either a figure number or the
 // name of one of the non-paper figures ("parallel", "recovery",
-// "readview").
+// "readview", "replicas").
 func FigureNum(s string) (int, error) {
 	if n, err := strconv.Atoi(s); err == nil {
 		return n, nil
@@ -45,7 +49,7 @@ func FigureNum(s string) (int, error) {
 	if n, ok := figureNames[s]; ok {
 		return n, nil
 	}
-	return 0, fmt.Errorf("bench: unknown figure %q (want 7..25, \"parallel\", \"recovery\" or \"readview\")", s)
+	return 0, fmt.Errorf("bench: unknown figure %q (want 7..26, \"parallel\", \"recovery\", \"readview\" or \"replicas\")", s)
 }
 
 // FigureTable regenerates one figure by number and returns its table.
@@ -59,7 +63,7 @@ func FigureTable(num int, dir string, scale float64) (*Table, error) {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: no figure %d (have 7..25)", num)
+	return nil, fmt.Errorf("bench: no figure %d (have 7..26)", num)
 }
 
 // RunFigure regenerates one figure by number and prints its table.

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sebdb/internal/core"
+	"sebdb/internal/exec"
+	"sebdb/internal/node"
+	"sebdb/internal/replica"
+	"sebdb/internal/types"
+)
+
+// FigReplicas — not a paper figure: aggregate verified read throughput
+// versus read-replica count. One leader serves a TCP block stream;
+// followers bootstrap from empty directories, tail it, re-verify and
+// apply every pushed block, and serve Q4 from their own height-pinned
+// views. Each sweep measures the fleet's aggregate reads/s while the
+// leader commits filler blocks beside the readers, plus the replication
+// lag the moment the writer stops — the bounded-staleness number the
+// replication contract promises.
+func FigReplicas(dir string, scale float64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 26 — read replicas: aggregate Q4 reads/s vs replica count under a committing leader",
+		Header: []string{"replicas", "reads", "reads/s", "blocks committed", "lag at writer stop"},
+		Note:   "replicas serve verified reads from their own height-pinned views; 0 replicas = all reads on the leader; lag is leader height minus the slowest follower's the moment the writer stops",
+	}
+	blocks := scaled(300, scale, 20)
+	result := scaled(5_000, scale, 100)
+	commits := scaled(60, scale, 8)
+	counts := []int{0, 1, 2, 4}
+	maxReplicas := counts[len(counts)-1]
+
+	leaderEng, err := NewEngine(filepath.Join(dir, "figrep", "leader"), core.CacheNone)
+	if err != nil {
+		return nil, err
+	}
+	defer leaderEng.Close() //sebdb:ignore-err best-effort cleanup; the scratch dataset is disposable
+	if leaderEng.Height() == 0 {
+		err = LoadRange(leaderEng, GenConfig{
+			Blocks: blocks, TxPerBlock: 100, ResultSize: result,
+			Dist: Uniform, Seed: 1,
+		})
+	} else {
+		err = leaderEng.CreateIndex("donate", "amount")
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	leader := node.New(leaderEng)
+	leader.Replication().SetHeartbeat(50 * time.Millisecond)
+	addr, err := leader.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer leader.Close() //sebdb:ignore-err best-effort node teardown after the sweep
+
+	// Start the full fleet once; each sweep reads from a prefix of it.
+	// Followers keep tailing between sweeps, so later sweeps start
+	// converged — exactly how a standing fleet behaves.
+	repEngs := make([]*core.Engine, maxReplicas)
+	followers := make([]*replica.Follower, maxReplicas)
+	defer func() {
+		for i := range followers {
+			if followers[i] != nil {
+				followers[i].Stop()
+			}
+			if repEngs[i] != nil {
+				repEngs[i].Close() //sebdb:ignore-err best-effort cleanup; the scratch dataset is disposable
+			}
+		}
+	}()
+	for i := range repEngs {
+		repEngs[i], err = NewEngine(filepath.Join(dir, "figrep", fmt.Sprintf("rep%d", i)), core.CacheNone)
+		if err != nil {
+			return nil, err
+		}
+		repEngs[i].SetFollower(true)
+		followers[i] = replica.StartFollower(repEngs[i], replica.FollowerConfig{
+			Leader:    addr,
+			Heartbeat: 50 * time.Millisecond,
+			Backoff:   20 * time.Millisecond,
+		})
+	}
+	converge := func() error {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			want := leaderEng.Height()
+			behind := false
+			for _, re := range repEngs {
+				if re.Height() < want {
+					behind = true
+					break
+				}
+			}
+			if !behind {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fig26: fleet did not converge to height %d", want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := converge(); err != nil {
+		return nil, err
+	}
+	// The layered index is node-local configuration, not chain state
+	// (the trust model forbids installing peer index contents); each
+	// follower creates its own and backfills from its verified chain.
+	for _, re := range repEngs {
+		if err := re.CreateIndex("donate", "amount"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Filler blocks with amounts strictly below the Q4 window: the
+	// answer set stays identical on every node at every height.
+	rng := rand.New(rand.NewSource(2))
+	fillerBlock := func() []*types.Transaction {
+		txs := make([]*types.Transaction, 100)
+		for i := range txs {
+			txs[i] = &types.Transaction{
+				SenID: fmt.Sprintf("org%d", 2+rng.Intn(20)),
+				Tname: "donate",
+				Args: []types.Value{
+					types.Str(fmt.Sprintf("donor%06d", rng.Intn(1_000_000))),
+					types.Str("education"),
+					types.Dec(float64(rng.Intn(RangeLo - 1))),
+				},
+			}
+		}
+		return txs
+	}
+
+	for _, count := range counts {
+		fleet := []*core.Engine{leaderEng}
+		if count > 0 {
+			fleet = repEngs[:count]
+		}
+		if err := converge(); err != nil {
+			return nil, err
+		}
+
+		done := make(chan struct{})
+		var wErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done)
+			for i := 0; i < commits; i++ {
+				if _, err := leaderEng.CommitBlock(fillerBlock(), 0); err != nil {
+					wErr = err
+					return
+				}
+			}
+		}()
+
+		// One reader goroutine per fleet engine, all racing the writer
+		// (and, on the replicas, the apply loop). Each reader runs until
+		// the writer is done AND it has met a minimum quota, so a sweep
+		// at tiny scale still measures real reads.
+		minReads := scaled(50, scale, 5)
+		readCounts := make([]int, len(fleet))
+		readErrs := make([]error, len(fleet))
+		var rg sync.WaitGroup
+		start := time.Now()
+		for i, re := range fleet {
+			rg.Add(1)
+			go func(i int, re *core.Engine) {
+				defer rg.Done()
+				want := -1
+				reads := 0
+				defer func() { readCounts[i] = reads }()
+				for {
+					if reads >= minReads {
+						select {
+						case <-done:
+							return
+						default:
+						}
+					}
+					n, err := Q4(re, RangeLo, RangeHi, exec.MethodLayered)
+					if err != nil {
+						readErrs[i] = err
+						return
+					}
+					if want < 0 {
+						want = n
+					}
+					if n != want {
+						readErrs[i] = fmt.Errorf("fig26: node %d read returned %d rows, want %d", i, n, want)
+						return
+					}
+					reads++
+				}
+			}(i, re)
+		}
+		rg.Wait()
+		elapsed := time.Since(start).Seconds()
+		wg.Wait()
+		if wErr != nil {
+			return nil, fmt.Errorf("fig26: concurrent commit: %w", wErr)
+		}
+		// Lag at the instant the writer stopped: how far the slowest
+		// follower trails the leader before catch-up.
+		lag := uint64(0)
+		lh := leaderEng.Height()
+		for _, re := range repEngs[:count] {
+			if h := re.Height(); lh > h && lh-h > lag {
+				lag = lh - h
+			}
+		}
+		for i, err := range readErrs {
+			if err != nil {
+				return nil, fmt.Errorf("fig26: reader on node %d: %w", i, err)
+			}
+		}
+		total := 0
+		for _, n := range readCounts {
+			total += n
+		}
+		t.AddRow(fmt.Sprintf("%d", count), fmt.Sprintf("%d", total),
+			fmt.Sprintf("%.0f", float64(total)/elapsed),
+			fmt.Sprintf("%d", commits), fmt.Sprintf("%d", lag))
+	}
+	return t, nil
+}

@@ -223,6 +223,19 @@ type Engine struct {
 	view      atomic.Pointer[View]
 	viewEpoch atomic.Uint64
 
+	// follower, when set, makes the local write entry points (Submit,
+	// Flush/FlushAt, CommitBlock) fail with ErrFollower: a follower's
+	// chain advances only through ApplyBlock on leader-pushed blocks, so
+	// a locally minted block would fork it away from the leader.
+	follower atomic.Bool
+
+	// heightMu guards heightCh, a broadcast channel closed-and-replaced
+	// every time a new view publishes. HeightSignal hands the current
+	// channel to tailers (the replica subscription service) that wait
+	// for the chain to advance without polling.
+	heightMu sync.Mutex
+	heightCh chan struct{}
+
 	// mPrepare, mAppend and mIndex time the commit pipeline's three
 	// stages into sebdb_stage_micros (stages commit.prepare,
 	// commit.append, commit.index), resolved once at construction so the
@@ -387,6 +400,7 @@ func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 	// A checkpoint restore replaces them with the serialised state.
 	e.lidx[".senid"] = layered.NewDiscrete("senid")
 	e.lidx[".tname"] = layered.NewDiscrete("tname")
+	e.heightCh = make(chan struct{})
 	// Install an empty view so CurrentView never returns nil; the real
 	// one is published once recovery has rebuilt the derived state. The
 	// shell is not shared yet, so no lock is needed.
@@ -465,6 +479,11 @@ func (e *Engine) nowMicro() int64 { return e.cfg.Clock() }
 // registry the server exposes.
 func (e *Engine) Obs() *obs.Registry { return e.cfg.Obs }
 
+// EventLog returns the engine's base event logger (Config.Log, untagged;
+// possibly nil — obs.Logger is nil-safe). Subsystems layered over the
+// engine (node, replica) derive their component loggers from it.
+func (e *Engine) EventLog() *obs.Logger { return e.cfg.Log }
+
 // RegisterKey associates a sender identity with a signing key; Submit
 // and Execute sign transactions from that sender.
 func (e *Engine) RegisterKey(sender string, key ed25519.PrivateKey) {
@@ -522,10 +541,49 @@ func (e *Engine) NewTransaction(sender, tname string, args []types.Value) (*type
 	return tx, nil
 }
 
+// ErrFollower rejects local write entry points on an engine running in
+// follower mode; its chain advances only through ApplyBlock.
+var ErrFollower = errors.New("core: engine is a follower; writes go to the leader")
+
+// SetFollower switches the engine's follower mode. A follower rejects
+// Submit/Flush/CommitBlock with ErrFollower so it can never mint a block
+// that forks it away from its leader; ApplyBlock (replicated, verified
+// blocks) stays open, as do all reads.
+func (e *Engine) SetFollower(on bool) { e.follower.Store(on) }
+
+// IsFollower reports whether the engine is in follower mode.
+func (e *Engine) IsFollower() bool { return e.follower.Load() }
+
+// HeightSignal returns a channel closed the next time a new view
+// publishes (commit, apply, DDL, index creation). Waiters select on it,
+// then call Height/CurrentView and re-arm by calling HeightSignal again.
+// Because the channel is replaced on every publish, a waiter must
+// re-check the height after grabbing the channel to close the
+// check-then-wait race.
+func (e *Engine) HeightSignal() <-chan struct{} {
+	e.heightMu.Lock()
+	ch := e.heightCh
+	e.heightMu.Unlock()
+	return ch
+}
+
+// bumpHeightSignal wakes every HeightSignal waiter. Called with e.mu
+// held (from publishViewLocked); heightMu nests inside e.mu and is never
+// held across anything blocking.
+func (e *Engine) bumpHeightSignal() {
+	e.heightMu.Lock()
+	close(e.heightCh)
+	e.heightCh = make(chan struct{})
+	e.heightMu.Unlock()
+}
+
 // Submit appends a transaction to the standalone mempool, packaging a
 // block when BlockMaxTxs accumulate. Consensus-driven deployments skip
 // Submit and deliver ordered batches through CommitBlock instead.
 func (e *Engine) Submit(tx *types.Transaction) error {
+	if e.follower.Load() {
+		return ErrFollower
+	}
 	e.mu.Lock()
 	e.mempool = append(e.mempool, tx)
 	full := len(e.mempool) >= e.cfg.BlockMaxTxs
@@ -545,6 +603,9 @@ func (e *Engine) Flush() error { return e.FlushAt(e.nowMicro()) }
 // loaders — the benchmark's data generator — use it to control the
 // chain's time axis.
 func (e *Engine) FlushAt(ts int64) error {
+	if e.follower.Load() {
+		return ErrFollower
+	}
 	e.mu.Lock()
 	pending := e.mempool
 	e.mempool = nil
@@ -596,6 +657,9 @@ func (e *Engine) FlushAt(ts int64) error {
 // released, so neither reads nor the next commit stall behind
 // checkpoint I/O.
 func (e *Engine) CommitBlock(txs []*types.Transaction, ts int64) (*types.Block, error) {
+	if e.follower.Load() {
+		return nil, ErrFollower
+	}
 	e.commitMu.Lock()
 	//sebdb:ignore-lockio reason: commitMu serialises the writer pipeline including the block fsync; readers never take it, and checkpoint I/O is outside it
 	b, ck, err := e.commitOne(txs, ts, true)

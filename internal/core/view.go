@@ -100,6 +100,7 @@ func (e *Engine) publishViewLocked() {
 	start := e.cfg.Obs.Now()
 	v := e.buildView(uint64(e.store.Count()))
 	e.view.Store(v)
+	e.bumpHeightSignal()
 	e.gViewEpoch.Set(int64(v.epoch))
 	e.mViewSwap.Observe(e.cfg.Obs.Now() - start)
 }

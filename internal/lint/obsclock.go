@@ -21,6 +21,7 @@ var obsclockPrefixes = []string{
 	"sebdb/internal/core",
 	"sebdb/internal/network",
 	"sebdb/internal/thinclient",
+	"sebdb/internal/replica",
 }
 
 // Obsclock forbids direct wall-clock reads (time.Now, time.Since) in

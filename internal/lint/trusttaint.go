@@ -66,6 +66,7 @@ var taintSinks = []funcSpec{
 // parameter is a raw wire payload.
 var handlerRegistrars = []funcSpec{
 	{"sebdb/internal/network", "Server", "Handle"},
+	{"sebdb/internal/network", "Server", "HandleStream"},
 }
 
 const sourceBit = uint64(1) // mask bit 0: derived from a root source

@@ -1,0 +1,223 @@
+package network
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestUnknownKindStableMessage pins the reply for an unregistered wire
+// kind: clients (and their retry logic) key off this exact string, so
+// it is part of the wire contract.
+func TestUnknownKindStableMessage(t *testing.T) {
+	srv := NewServer()
+	srv.Handle(KindHeight, func(p []byte) ([]byte, error) { return []byte("0"), nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Call(KindAuthQuery, nil)
+	if err == nil || err.Error() != UnknownKindMsg {
+		t.Errorf("unknown kind reply = %v, want %q", err, UnknownKindMsg)
+	}
+	if !IsAppError(err) {
+		t.Error("unknown-kind reply should be an application error (not retried)")
+	}
+}
+
+// TestHandleStreamDispatch covers the subscription path: a stream
+// handler takes over the connection and pushes frames until it returns;
+// request/response kinds on other connections are unaffected.
+func TestHandleStreamDispatch(t *testing.T) {
+	srv := NewServer()
+	srv.Handle(KindHeight, func(p []byte) ([]byte, error) { return []byte("7"), nil })
+	srv.HandleStream(KindSubscribe, func(payload []byte, conn net.Conn) {
+		for i := 0; i < 3; i++ {
+			if err := WriteFrame(conn, KindBlockPush, append([]byte("push:"), payload...)); err != nil {
+				return
+			}
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, KindSubscribe, []byte("c0")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		kind, payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if kind != KindBlockPush || string(payload) != "push:c0" {
+			t.Errorf("push %d = kind %d payload %q", i, kind, payload)
+		}
+	}
+	// The handler returned, so the server closes the stream.
+	if _, _, err := ReadFrame(conn); err == nil {
+		t.Error("stream conn still open after handler returned")
+	}
+
+	// Request/response traffic on a fresh connection still works.
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if resp, err := cl.Call(KindHeight, nil); err != nil || string(resp) != "7" {
+		t.Errorf("call after stream = %q, %v", resp, err)
+	}
+}
+
+// TestCallTimeoutUnblocks points a client at a peer that accepts and
+// then goes silent: with a deadline configured the Call must fail in
+// bounded time instead of hanging forever.
+func TestCallTimeoutUnblocks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request, never reply.
+			go func() {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetTimeout(100 * time.Millisecond)
+	cl.SetRetry(0, 0)
+	start := time.Now()
+	_, err = cl.Call(KindHeight, nil)
+	if err == nil {
+		t.Fatal("call against a silent peer succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("timeout took %v, want ~100ms", waited)
+	}
+}
+
+// TestCallRedialAfterServerRestart drops the server under an open
+// client; the next Call's retry must redial and reach the replacement
+// server on the same address.
+func TestCallRedialAfterServerRestart(t *testing.T) {
+	newSrv := func() *Server {
+		s := NewServer()
+		s.Handle(KindHeight, func(p []byte) ([]byte, error) { return []byte("up"), nil })
+		return s
+	}
+	srv := newSrv()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetry(2, 10*time.Millisecond)
+	if resp, err := cl.Call(KindHeight, nil); err != nil || string(resp) != "up" {
+		t.Fatalf("first call = %q, %v", resp, err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newSrv()
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ { // the freed port can take a moment to rebind
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	// The cached conn is dead; the retry path must drop it and redial.
+	if resp, err := cl.Call(KindHeight, nil); err != nil || string(resp) != "up" {
+		t.Errorf("call after restart = %q, %v", resp, err)
+	}
+}
+
+// TestAppErrorsNotRetried asserts retry only covers transport faults: a
+// handler that answers with an application error must run exactly once
+// even when the client is configured to retry.
+func TestAppErrorsNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := NewServer()
+	srv.Handle(KindSQL, func(p []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("syntax error")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRetry(3, time.Millisecond)
+	_, err = cl.Call(KindSQL, []byte("SELEC"))
+	if err == nil || err.Error() != "syntax error" {
+		t.Fatalf("call = %v, want handler error", err)
+	}
+	if !IsAppError(err) {
+		t.Error("handler error not marked as application error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("handler ran %d times, want exactly 1", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sebdb/internal/core"
 	"sebdb/internal/index/bitmap"
 	"sebdb/internal/network"
+	"sebdb/internal/replica"
 	"sebdb/internal/snapshot"
 	"sebdb/internal/types"
 )
@@ -24,6 +25,11 @@ type FullNode struct {
 	Gossip   *network.Gossiper
 	server   *network.Server
 	listener net.Listener
+
+	// leader is the replication subscription service (wire kind
+	// KindSubscribe); every full node offers it, so any node can feed
+	// read replicas.
+	leader *replica.Leader
 
 	// snap memoises the checkpoint payload served to fast-syncing peers
 	// so a full transfer reads the file once per checkpoint generation,
@@ -52,8 +58,14 @@ func New(engine *core.Engine) *FullNode {
 	n.server.Handle(network.KindSQL, n.handleSQL)
 	n.server.Handle(network.KindSnapOffer, n.handleSnapOffer)
 	n.server.Handle(network.KindSnapChunk, n.handleSnapChunk)
+	n.leader = replica.NewLeader(engine, engine.EventLog())
+	n.leader.Register(n.server)
 	return n
 }
+
+// Replication returns the node's replication subscription service
+// (tests shrink its heartbeat through it).
+func (n *FullNode) Replication() *replica.Leader { return n.leader }
 
 // Serve starts answering on addr (e.g. "127.0.0.1:0") and returns the
 // bound address.
@@ -68,9 +80,14 @@ func (n *FullNode) Serve(addr string) (string, error) {
 }
 
 // Close stops serving and gossiping, reporting listener teardown errors.
+// The replication service closes first: subscription sessions run inside
+// the wire server's connection goroutines, and Server.Close joins them.
 func (n *FullNode) Close() error {
 	if n.Gossip != nil {
 		n.Gossip.Stop()
+	}
+	if n.leader != nil {
+		n.leader.Close()
 	}
 	if n.listener != nil {
 		return n.server.Close()

@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"time"
 
 	"sebdb/internal/auth"
 	"sebdb/internal/core"
@@ -41,6 +42,15 @@ func DialNode(addr string) (*Remote, error) {
 
 // Close closes the connection.
 func (r *Remote) Close() error { return r.client.Close() }
+
+// TuneCalls passes deadline and retry settings to the underlying wire
+// client: timeout bounds each request/response exchange, retries bounds
+// redial-and-resend attempts after transport failures, backoff is the
+// pause before each retry. Zero timeout removes the bound.
+func (r *Remote) TuneCalls(timeout time.Duration, retries int, backoff time.Duration) {
+	r.client.SetTimeout(timeout)
+	r.client.SetRetry(retries, backoff)
+}
 
 // ID returns the node's address as its identity.
 func (r *Remote) ID() string { return r.addr }

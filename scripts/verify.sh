@@ -59,6 +59,13 @@ echo "== metrics + flight-recorder endpoint smoke =="
 # covers /metrics, /debug/vars and the nil recorder/logger paths.
 go test -race -run 'TestMetricsEndpoints|TestTraceLogEndpoints' ./cmd/sebdb-server
 
+echo "== replication stress (-race) =="
+# Follower tail-verify-apply vs concurrent pushes and reads, cursor
+# resume across restarts, tampered/forged push rejection, and the
+# client's stream/retry/timeout plumbing underneath it all.
+go test -race -run 'Replica|Follower|Tampered|Forged|Stream|Call' \
+    ./internal/replica ./internal/network ./internal/thinclient
+
 echo "== bchainbench -json smoke =="
 json_out=$(mktemp)
 trap 'rm -f "$json_out"' EXIT
@@ -75,6 +82,11 @@ fi
 go run ./cmd/bchainbench -fig readview -scale 0.01 -json "$json_out" >/dev/null
 if ! grep -q '"figure"' "$json_out"; then
     echo "bchainbench -fig readview -json produced no figure data" >&2
+    exit 1
+fi
+go run ./cmd/bchainbench -fig replicas -scale 0.01 -json "$json_out" >/dev/null
+if ! grep -q '"figure"' "$json_out"; then
+    echo "bchainbench -fig replicas -json produced no figure data" >&2
     exit 1
 fi
 
