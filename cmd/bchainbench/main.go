@@ -7,13 +7,15 @@
 //	bchainbench [-fig N|NAME] [-scale S] [-dir DIR] [-workers W] \
 //	    [-json PATH] [-trace-sample N]
 //
-//	-fig F     regenerate only figure F: a number (7..26) or a name —
+//	-fig F     regenerate only figure F: a number (7..27) or a name —
 //	           "parallel" (23, the read-pipeline scaling sweep),
 //	           "recovery" (24, the checkpoint restart/fast-sync sweep),
 //	           "readview" (25, read throughput through the
-//	           height-pinned views while commits run) or "replicas"
+//	           height-pinned views while commits run), "replicas"
 //	           (26, aggregate read throughput and lag across a
-//	           streaming-replication fleet); default all
+//	           streaming-replication fleet) or "storage" (27, the
+//	           tiered read path: pread vs mmap over plain vs
+//	           recompressed segments); default all
 //	-scale S   dataset scale relative to paper sizes (default 0.05;
 //	           1.0 loads paper-scale datasets and can take a while)
 //	-dir DIR   scratch directory for datasets (default a temp dir;
@@ -42,7 +44,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", `figure number (7-25) or name ("parallel", "recovery", "readview"); empty = all`)
+	fig := flag.String("fig", "", `figure number (7-27) or name ("parallel", "recovery", "readview", "replicas", "storage"); empty = all`)
 	scale := flag.Float64("scale", 0.05, "dataset scale relative to the paper")
 	dir := flag.String("dir", "", "scratch directory for datasets")
 	workers := flag.Int("workers", 0, "worker sweep bound for figure 23 and commit-pipeline workers for figure 7 (0 = GOMAXPROCS)")

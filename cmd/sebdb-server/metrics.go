@@ -52,4 +52,8 @@ func registerEngineMetrics(reg *obs.Registry, e *core.Engine) {
 		func() int64 { return e.CacheStats().Bytes })
 	reg.RegisterFunc("sebdb_cache_entries", obs.TypeGauge,
 		func() int64 { return int64(e.CacheStats().Entries) })
+	reg.RegisterFunc("sebdb_cache_shard_contention_total", obs.TypeCounter,
+		func() int64 { return int64(e.CacheStats().Contention) })
+	reg.RegisterFunc("sebdb_cache_shards", obs.TypeGauge,
+		func() int64 { return int64(len(e.CacheShardStats())) })
 }

@@ -15,19 +15,20 @@ type Figure struct {
 }
 
 // Figures lists every evaluation figure of the paper in order, plus
-// four of our own: 23, the parallel read pipeline's worker-scaling
+// five of our own: 23, the parallel read pipeline's worker-scaling
 // sweep; 24, the checkpoint subsystem's restart/fast-sync recovery
 // sweep (the paper's runs are single-threaded and replay the full chain
 // on every start); 25, read throughput through the height-pinned views
-// while the commit pipeline runs beside the readers; and 26, aggregate
+// while the commit pipeline runs beside the readers; 26, aggregate
 // read throughput across a streaming-replication fleet versus replica
-// count.
+// count; and 27, the tiered storage read path (pread vs mmap backends
+// over plain vs recompressed segments).
 var Figures = []Figure{
 	{7, Fig7}, {8, Fig8}, {9, Fig9}, {10, Fig10}, {11, Fig11},
 	{12, Fig12}, {13, Fig13}, {14, Fig14}, {15, Fig15}, {16, Fig16},
 	{17, Fig17}, {18, Fig18}, {19, Fig19}, {20, Fig20}, {21, Fig21},
 	{22, Fig22}, {23, FigParallel}, {24, FigRecovery}, {25, FigReadView},
-	{26, FigReplicas},
+	{26, FigReplicas}, {27, FigStorage},
 }
 
 // figureNames maps the named (non-paper) figures to their numbers, so
@@ -37,11 +38,12 @@ var figureNames = map[string]int{
 	"recovery": 24,
 	"readview": 25,
 	"replicas": 26,
+	"storage":  27,
 }
 
 // FigureNum resolves a figure selector: either a figure number or the
 // name of one of the non-paper figures ("parallel", "recovery",
-// "readview", "replicas").
+// "readview", "replicas", "storage").
 func FigureNum(s string) (int, error) {
 	if n, err := strconv.Atoi(s); err == nil {
 		return n, nil
@@ -49,7 +51,7 @@ func FigureNum(s string) (int, error) {
 	if n, ok := figureNames[s]; ok {
 		return n, nil
 	}
-	return 0, fmt.Errorf("bench: unknown figure %q (want 7..26, \"parallel\", \"recovery\", \"readview\" or \"replicas\")", s)
+	return 0, fmt.Errorf("bench: unknown figure %q (want 7..27, \"parallel\", \"recovery\", \"readview\", \"replicas\" or \"storage\")", s)
 }
 
 // FigureTable regenerates one figure by number and returns its table.
@@ -63,7 +65,7 @@ func FigureTable(num int, dir string, scale float64) (*Table, error) {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: no figure %d (have 7..26)", num)
+	return nil, fmt.Errorf("bench: no figure %d (have 7..27)", num)
 }
 
 // RunFigure regenerates one figure by number and prints its table.

@@ -20,6 +20,18 @@ type LRU struct {
 	items map[string]*list.Element
 
 	hits, misses, evictions uint64
+	// contention counts lock acquisitions that had to wait — the signal
+	// sharding exists to drive down.
+	contention uint64
+}
+
+// lock takes the cache mutex, counting the times it had to wait.
+func (c *LRU) lock() {
+	if c.mu.TryLock() {
+		return
+	}
+	c.mu.Lock()
+	c.contention++
 }
 
 type entry struct {
@@ -35,7 +47,7 @@ func NewLRU(capBytes int64) *LRU {
 
 // Get returns the cached value for key and promotes it.
 func (c *LRU) Get(key string) (any, bool) {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -48,13 +60,25 @@ func (c *LRU) Get(key string) (any, bool) {
 
 // Put inserts or refreshes key with the given value and accounted size,
 // evicting least-recently-used entries to stay within capacity. Values
-// larger than the whole cache are not admitted.
+// larger than the whole cache are not admitted; an oversize refresh of
+// a cached key drops the stale entry instead of leaving it behind.
 func (c *LRU) Put(key string, val any, size int64) {
+	c.lock()
+	defer c.mu.Unlock()
 	if size > c.cap {
+		// The early return used to skip this lookup, so an oversize
+		// refresh left the previous (now stale) value cached — and two
+		// racing refreshes could disagree about the accounted size.
+		// Everything, including the admission check, now happens under
+		// one critical section.
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*entry)
+			delete(c.items, key)
+			c.ll.Remove(el)
+			c.used -= e.size
+		}
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
 		c.used += size - e.size
@@ -106,6 +130,9 @@ type Counters struct {
 	// Evictions is the cumulative number of entries dropped to stay
 	// within capacity (capacity misses, not Reset).
 	Evictions uint64
+	// Contention is the cumulative number of lock acquisitions that had
+	// to wait for another goroutine.
+	Contention uint64
 	// Bytes is the accounted size of the entries currently cached.
 	Bytes int64
 	// Entries is the number of entries currently cached.
@@ -117,11 +144,12 @@ func (c *LRU) Counters() Counters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Counters{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Bytes:     c.used,
-		Entries:   c.ll.Len(),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Contention: c.contention,
+		Bytes:      c.used,
+		Entries:    c.ll.Len(),
 	}
 }
 

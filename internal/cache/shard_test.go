@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 8}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16},
+	}
+	for _, tc := range cases {
+		if got := NewSharded(1024, tc.in).Shards(); got != tc.want {
+			t.Errorf("NewSharded(shards=%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardedGetPut(t *testing.T) {
+	c := NewSharded(1<<20, 4)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(k%d) = %v, %v", i, v, ok)
+		}
+	}
+	if c.Len() != 100 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Used() != 1000 {
+		t.Errorf("Used = %d", c.Used())
+	}
+}
+
+// TestShardedAggregateCounters checks the sharded cache reports the
+// same aggregate shape a single LRU would for the same traffic.
+func TestShardedAggregateCounters(t *testing.T) {
+	c := NewSharded(1<<20, 4)
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 8)
+	}
+	for i := 0; i < 50; i++ {
+		c.Get(fmt.Sprintf("k%d", i)) // hits
+	}
+	for i := 50; i < 70; i++ {
+		c.Get(fmt.Sprintf("k%d", i)) // misses
+	}
+	agg := c.Counters()
+	if agg.Hits != 50 || agg.Misses != 20 {
+		t.Errorf("aggregate hits/misses = %d/%d, want 50/20", agg.Hits, agg.Misses)
+	}
+	if agg.Entries != 50 || agg.Bytes != 400 {
+		t.Errorf("aggregate entries/bytes = %d/%d, want 50/400", agg.Entries, agg.Bytes)
+	}
+	// The per-shard view must sum to the aggregate.
+	var hits, misses uint64
+	var bytes int64
+	for _, sc := range c.ShardCounters() {
+		hits += sc.Hits
+		misses += sc.Misses
+		bytes += sc.Bytes
+	}
+	if hits != agg.Hits || misses != agg.Misses || bytes != agg.Bytes {
+		t.Errorf("shard sum %d/%d/%d != aggregate %d/%d/%d",
+			hits, misses, bytes, agg.Hits, agg.Misses, agg.Bytes)
+	}
+}
+
+func TestShardedEvictionWithinStripe(t *testing.T) {
+	// 4 shards of 64 bytes each: 32-byte entries mean each stripe holds
+	// two, so pushing many keys must evict but never exceed capacity.
+	c := NewSharded(256, 4)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 32)
+	}
+	if used := c.Used(); used > 256 {
+		t.Errorf("Used = %d exceeds total capacity", used)
+	}
+	if c.Counters().Evictions == 0 {
+		t.Error("overfilling the cache never evicted")
+	}
+}
+
+func TestShardedReset(t *testing.T) {
+	c := NewSharded(1<<20, 2)
+	c.Put("a", 1, 10)
+	c.Get("a")
+	c.Reset()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Errorf("after Reset: Len=%d Used=%d", c.Len(), c.Used())
+	}
+	if agg := c.Counters(); agg.Hits != 0 || agg.Misses != 0 {
+		t.Errorf("after Reset: counters %+v", agg)
+	}
+}
+
+// TestPutOversizeRefreshDropsStale covers the accounting fix: an
+// oversize refresh of a cached key must drop the stale entry rather
+// than leave the old value (and its accounted bytes) behind.
+func TestPutOversizeRefreshDropsStale(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", "old", 10)
+	c.Put("k", "huge", 1000) // larger than the whole cache
+	if _, ok := c.Get("k"); ok {
+		t.Error("oversize refresh left the stale value cached")
+	}
+	if used := c.Used(); used != 0 {
+		t.Errorf("Used = %d after oversize refresh, want 0", used)
+	}
+}
+
+func TestPutRefreshAccounting(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("k", "v1", 10)
+	c.Put("k", "v2", 30) // refresh with a different size
+	if used := c.Used(); used != 30 {
+		t.Errorf("Used = %d after refresh, want 30", used)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after refresh, want 1", c.Len())
+	}
+}
+
+// TestShardedConcurrent hammers all stripes from many goroutines; run
+// under -race it checks stripe isolation, and the contention counter
+// only ever grows.
+func TestShardedConcurrent(t *testing.T) {
+	c := NewSharded(1<<16, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%512)
+				if i%3 == 0 {
+					c.Put(key, i, 16)
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	agg := c.Counters()
+	if agg.Hits+agg.Misses == 0 {
+		t.Error("concurrent run recorded no gets")
+	}
+	if agg.Bytes > 1<<16 {
+		t.Errorf("capacity exceeded: %d bytes", agg.Bytes)
+	}
+}

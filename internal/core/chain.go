@@ -106,8 +106,9 @@ func (e *Engine) Table(name string) (*schema.Table, error) {
 }
 
 // CacheStats snapshots the active cache's counters: cumulative hits,
-// misses and evictions plus current occupancy. A CacheNone engine
-// reports zeros.
+// misses, evictions and lock contention plus current occupancy,
+// aggregated over every shard — the same shape the unsharded cache
+// reported. A CacheNone engine reports zeros.
 func (e *Engine) CacheStats() cache.Counters {
 	switch {
 	case e.blockCache != nil:
@@ -116,6 +117,19 @@ func (e *Engine) CacheStats() cache.Counters {
 		return e.txCache.Counters()
 	}
 	return cache.Counters{}
+}
+
+// CacheShardStats returns the active cache's per-shard counters in
+// stripe order (nil for a CacheNone engine), exposing occupancy skew
+// and which stripes actually contend.
+func (e *Engine) CacheShardStats() []cache.Counters {
+	switch {
+	case e.blockCache != nil:
+		return e.blockCache.ShardCounters()
+	case e.txCache != nil:
+		return e.txCache.ShardCounters()
+	}
+	return nil
 }
 
 // sampleColumn collects up to limit values of table.col from the chain
@@ -227,6 +241,7 @@ func (e *Engine) backfillLayered(spec indexSpec, idx *layered.Index, lo, hi uint
 	if err != nil {
 		return err
 	}
+	defer it.Close()
 	return parallel.Ordered(e.Parallelism(), it.Len(),
 		func(i int) ([]layered.Entry, error) {
 			b, err := it.Read(lo + uint64(i))
@@ -314,6 +329,7 @@ func (e *Engine) backfillALI(spec indexSpec, ali *auth.ALI, lo, hi uint64) error
 	if err != nil {
 		return err
 	}
+	defer it.Close()
 	return parallel.Ordered(e.Parallelism(), it.Len(),
 		func(i int) ([]mbtree.Record, error) {
 			b, err := it.Read(lo + uint64(i))

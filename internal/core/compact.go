@@ -1,0 +1,65 @@
+package core
+
+// The background storage compactor: when Config.CompressAfter is set,
+// a goroutine follows the chain (via HeightSignal) and rewrites sealed
+// segments with per-record compression once they fall far enough
+// behind the active tail. Everything runs through
+// storage.Store.CompressSegment, whose swap protocol keeps concurrent
+// readers correct; the goroutine here only decides when.
+
+// startCompactor launches the recompression goroutine. Called once
+// from Open, before the engine is shared.
+func (e *Engine) startCompactor() {
+	e.compactStop = make(chan struct{})
+	e.compactDone = make(chan struct{})
+	go e.compactLoop()
+}
+
+// stopCompactor stops the goroutine and waits for an in-flight pass to
+// finish, so Close never races a rewrite against the store shutdown.
+// Safe to call when the compactor never started, and idempotent.
+func (e *Engine) stopCompactor() {
+	if e.compactStop == nil {
+		return
+	}
+	close(e.compactStop)
+	<-e.compactDone
+	e.compactStop, e.compactDone = nil, nil
+}
+
+// compactLoop runs one recompression pass, then sleeps until the chain
+// advances (a segment can only seal when a commit rolls the store to a
+// new file). The signal is armed before the pass so a roll landing
+// mid-pass is not missed.
+func (e *Engine) compactLoop() {
+	defer close(e.compactDone)
+	for {
+		sig := e.HeightSignal()
+		if err := e.CompressSealed(e.cfg.CompressAfter); err != nil {
+			e.log.Warn("recompression pass failed", "error", err.Error())
+		}
+		select {
+		case <-e.compactStop:
+			return
+		case <-sig:
+		}
+	}
+}
+
+// CompressSealed rewrites every sealed segment at least keep segments
+// behind the active tail with per-record compression (keep below 1 is
+// treated as 1: all sealed segments). Segments an earlier sweep
+// already processed are skipped. It is the compactor's unit of work
+// and an explicit entry point for operators and benchmarks.
+func (e *Engine) CompressSealed(keep int) error {
+	for _, seg := range e.store.CompressTargets(keep) {
+		if err := e.store.CompressSegment(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiskBytes reports the total on-disk size of the chain's segment
+// files — the footprint compression shrinks.
+func (e *Engine) DiskBytes() (int64, error) { return e.store.DiskBytes() }

@@ -59,9 +59,26 @@ type Config struct {
 	// Zero means 200 (the paper's write-benchmark setting).
 	BlockMaxTxs int
 	// CacheMode selects the cache policy; CacheBytes its capacity
-	// (default 2 GB, the paper's §VII-H setting).
-	CacheMode  CacheMode
-	CacheBytes int64
+	// (default 2 GB, the paper's §VII-H setting). CacheShards stripes
+	// the cache over independently locked shards (rounded up to a power
+	// of two; zero means cache.DefaultShards) so view reads on
+	// different keys stop contending on one mutex.
+	CacheMode   CacheMode
+	CacheBytes  int64
+	CacheShards int
+	// Mmap serves sealed (read-only) segments from memory maps where
+	// the platform supports it; the active tail segment and any failed
+	// map fall back to positional reads. See storage.Options.Mmap.
+	Mmap bool
+	// CompressAfter enables the background recompression pass: sealed
+	// segments at least CompressAfter segments behind the active tail
+	// are rewritten with per-record compression. Zero disables the
+	// pass; CompressSealed still works for explicit sweeps.
+	CompressAfter int
+	// MaxOpenSegments bounds the store's per-segment read handles
+	// (descriptors or mappings). Zero means
+	// storage.DefaultMaxOpenSegments.
+	MaxOpenSegments int
 	// HistogramDepth is the first-level equal-depth histogram height for
 	// continuous layered indexes (default 100, §VII-D).
 	HistogramDepth int
@@ -214,8 +231,13 @@ type Engine struct {
 	keyMu sync.RWMutex
 	keys  map[string]ed25519.PrivateKey
 
-	blockCache *cache.LRU
-	txCache    *cache.LRU
+	blockCache *cache.Sharded
+	txCache    *cache.Sharded
+
+	// compactStop/compactDone manage the background recompression
+	// goroutine (see compact.go); nil when Config.CompressAfter is 0.
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// view is the published height-pinned read snapshot (see view.go);
 	// readers Load it, the commit pipeline Stores a replacement at the
@@ -261,12 +283,16 @@ func Open(cfg Config) (*Engine, error) {
 	e.recovery = root
 	e.log.Info("engine opened",
 		"dir", cfg.Dir, "height", e.Height(), "recovery_micros", root.DurationMicros())
+	if cfg.CompressAfter > 0 {
+		e.startCompactor()
+	}
 	return e, nil
 }
 
 func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
 	snapDir := snapshot.NewDir(cfg.FS, cfg.Dir)
 	sopts := storage.Options{SegmentSize: cfg.SegmentSize, Sync: cfg.Sync, FS: cfg.FS,
+		Mmap: cfg.Mmap, MaxOpenSegments: cfg.MaxOpenSegments,
 		Log: cfg.Log.With("storage")}
 
 	// Phase 1: checkpoint. Load the pinned checkpoint, verify its anchor
@@ -346,6 +372,7 @@ func openTraced(ctx context.Context, cfg Config) (*Engine, error) {
 		err = parallel.Ordered(e.Parallelism(), int(n-base),
 			func(i int) (*types.Block, error) { return it.Read(base + uint64(i)) },
 			func(_ int, b *types.Block) error { return e.indexBlock(b) })
+		it.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -390,9 +417,9 @@ func newEngine(cfg Config, st *storage.Store, snapDir *snapshot.Dir) *Engine {
 	e.par.Store(int32(cfg.Parallelism))
 	switch cfg.CacheMode {
 	case CacheBlocks:
-		e.blockCache = cache.NewLRU(cfg.CacheBytes)
+		e.blockCache = cache.NewSharded(cfg.CacheBytes, cfg.CacheShards)
 	case CacheTxs:
-		e.txCache = cache.NewLRU(cfg.CacheBytes)
+		e.txCache = cache.NewSharded(cfg.CacheBytes, cfg.CacheShards)
 	}
 	// The global track-trace indexes on the system columns are always
 	// present (§V-A: "the layered indices on column SenID and Tname are
@@ -426,8 +453,12 @@ func (e *Engine) ExplainRecovery() *Result {
 	return renderTrace(e.recovery)
 }
 
-// Close releases the engine's resources.
-func (e *Engine) Close() error { return e.store.Close() }
+// Close stops the background compactor (if running) and releases the
+// engine's resources.
+func (e *Engine) Close() error {
+	e.stopCompactor()
+	return e.store.Close()
+}
 
 // OffChain returns the node-local off-chain RDBMS.
 func (e *Engine) OffChain() *rdbms.DB { return e.offDB }

@@ -47,6 +47,26 @@ type FS interface {
 	Stat(path string) (os.FileInfo, error)
 }
 
+// Mapping is a read-only memory-mapped view of a whole file. The bytes
+// stay valid until Close; mapping a file that is later renamed over
+// keeps exposing the old contents (the mapping pins the inode), which
+// is exactly the snapshot semantics the storage tier wants.
+type Mapping interface {
+	// Bytes returns the mapped contents.
+	Bytes() []byte
+	// Close unmaps the file.
+	Close() error
+}
+
+// Mapper is an optional FS capability: map an existing file read-only.
+// The OS filesystem implements it on platforms with mmap support; a
+// filesystem that does not implement it (or returns an error) makes
+// callers fall back to positional reads. The fault injector implements
+// it too, so tests can force the fallback path (Options.MmapErrors).
+type Mapper interface {
+	Mmap(path string) (Mapping, error)
+}
+
 // OS returns the real filesystem.
 func OS() FS { return osFS{} }
 
@@ -61,3 +81,4 @@ func (osFS) Truncate(path string, size int64) error                { return os.T
 func (osFS) Stat(path string) (os.FileInfo, error)                 { return os.Stat(path) }
 func (osFS) Open(path string) (File, error)                        { return os.Open(path) }
 func (osFS) OpenFile(p string, f int, m os.FileMode) (File, error) { return os.OpenFile(p, f, m) }
+func (osFS) Mmap(path string) (Mapping, error)                     { return mmapFile(path) }

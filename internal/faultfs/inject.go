@@ -23,7 +23,13 @@ type Options struct {
 	// ShortReads caps every sequential Read at ShortReads bytes per
 	// call (0 disables), exercising io.ReadFull-style callers.
 	ShortReads int
+	// MmapErrors makes every Mmap fail with ErrMmap without crashing,
+	// exercising the storage tier's transparent pread fallback.
+	MmapErrors bool
 }
+
+// ErrMmap is the injected Mmap failure.
+var ErrMmap = errors.New("faultfs: injected mmap error")
 
 // Injector is an FS wrapper that injects faults into the real
 // filesystem. After the simulated crash fires, every operation —
@@ -161,6 +167,23 @@ func (in *Injector) Stat(path string) (os.FileInfo, error) {
 		return nil, err
 	}
 	return os.Stat(path)
+}
+
+// Mmap maps a file read-only through the real filesystem. Mapping is
+// not a mutation (nothing reaches disk), so it only honours the crash
+// state and the MmapErrors knob; bytes read through a mapping taken
+// before the crash stay readable, like any other pre-crash read handle.
+func (in *Injector) Mmap(path string) (Mapping, error) {
+	in.mu.Lock()
+	crashed, mmapErr := in.crashed, in.opts.MmapErrors
+	in.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	if mmapErr {
+		return nil, ErrMmap
+	}
+	return mmapFile(path)
 }
 
 func (in *Injector) Open(path string) (File, error) {

@@ -1,0 +1,52 @@
+//go:build linux
+
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only in its entirety. An empty file maps to
+// an empty (nil-backed) Mapping — mmap of length zero is an error at
+// the syscall level, but callers reading zero bytes from it are fine.
+func mmapFile(path string) (Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //sebdb:ignore-err read-only descriptor; the mapping pins the inode
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &osMapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("faultfs: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("faultfs: mmap %s: %w", path, err)
+	}
+	return &osMapping{data: data}, nil
+}
+
+// osMapping is a syscall.Mmap-backed Mapping.
+type osMapping struct {
+	data []byte
+}
+
+func (m *osMapping) Bytes() []byte { return m.data }
+
+func (m *osMapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package faultfs
+
+import "errors"
+
+// ErrNoMmap reports that this platform build has no mmap support; the
+// storage tier falls back to positional reads.
+var ErrNoMmap = errors.New("faultfs: mmap not supported on this platform")
+
+func mmapFile(path string) (Mapping, error) { return nil, ErrNoMmap }

@@ -33,10 +33,15 @@ var osFSFuncs = map[string]bool{
 // faultfs.FS, and snapshot files are created under a temp path and
 // renamed into place, never written directly under their published
 // name (a crash mid-write must leave a torn temp file, not a torn
-// checkpoint a later Open could half-trust).
+// checkpoint a later Open could half-trust). In storage the same
+// staging rule applies to whole-file rewrites (OpenFile with
+// O_CREATE|O_TRUNC, the recompression path): clobbering a published
+// segment in place would turn a crash into data loss, so the only
+// legal truncating creations target a tmp path that a later rename
+// publishes.
 var Atomicwrite = &Analyzer{
 	Name: "atomicwrite",
-	Doc:  "crash-tested packages must route file I/O through faultfs.FS; snapshot creations must stage a tmp path and rename",
+	Doc:  "crash-tested packages must route file I/O through faultfs.FS; snapshot creations and storage rewrites must stage a tmp path and rename",
 	Run:  runAtomicwrite,
 }
 
@@ -53,6 +58,8 @@ func runAtomicwrite(pkg *Package) []Finding {
 	}
 	inSnapshot := pkg.Path == "sebdb/internal/snapshot" ||
 		strings.HasPrefix(pkg.Path, "sebdb/internal/snapshot/")
+	inStorage := pkg.Path == "sebdb/internal/storage" ||
+		strings.HasPrefix(pkg.Path, "sebdb/internal/storage/")
 	var out []Finding
 	for _, f := range pkg.Files {
 		osName, hasOS := importsPackage(f, "os")
@@ -83,12 +90,25 @@ func runAtomicwrite(pkg *Package) []Finding {
 			// must target a staging path (its path expression mentions
 			// "tmp") so the only published names are rename targets.
 			if inSnapshot && sel.Sel.Name == "OpenFile" && len(call.Args) >= 2 &&
-				mentionsOCreate(call.Args[1]) &&
+				mentionsFlag(call.Args[1], "O_CREATE") &&
 				!strings.Contains(strings.ToLower(exprText(pkg.Fset, call.Args[0])), "tmp") {
 				out = append(out, Finding{
 					Pos:      pkg.Fset.Position(call.Pos()),
 					Analyzer: "atomicwrite",
 					Message:  "snapshot creates a file under its published name; write to a tmp path and rename into place",
+				})
+			}
+			// In the storage subtree, creating opens of the active segment
+			// (O_APPEND, no truncation) legitimately publish in place, but
+			// a truncating creation is a whole-file rewrite — the
+			// recompression path — and must stage a tmp path for rename.
+			if inStorage && sel.Sel.Name == "OpenFile" && len(call.Args) >= 2 &&
+				mentionsFlag(call.Args[1], "O_CREATE") && mentionsFlag(call.Args[1], "O_TRUNC") &&
+				!strings.Contains(strings.ToLower(exprText(pkg.Fset, call.Args[0])), "tmp") {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "atomicwrite",
+					Message:  "storage rewrites a file under its published name; stage the rewrite at a tmp path and rename into place",
 				})
 			}
 			return true
@@ -97,12 +117,12 @@ func runAtomicwrite(pkg *Package) []Finding {
 	return out
 }
 
-// mentionsOCreate reports whether the flags expression references the
-// O_CREATE constant.
-func mentionsOCreate(e ast.Expr) bool {
+// mentionsFlag reports whether the flags expression references the
+// named open-flag constant (e.g. O_CREATE, O_TRUNC).
+func mentionsFlag(e ast.Expr, name string) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if id, isID := n.(*ast.Ident); isID && id.Name == "O_CREATE" {
+		if id, isID := n.(*ast.Ident); isID && id.Name == name {
 			found = true
 		}
 		return !found

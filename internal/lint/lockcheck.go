@@ -196,7 +196,9 @@ func touchedGuardedField(body *ast.BlockStmt, recvName string, guarded map[strin
 }
 
 // acquiresMutex reports whether the body calls recv.<guard>.Lock or
-// recv.<guard>.RLock anywhere.
+// recv.<guard>.RLock anywhere, or — for the primary mutex "mu" — a
+// conventional receiver-local lock helper (recv.lock() / recv.rlock(),
+// the pattern contention-counting caches use to wrap mu.Lock).
 func acquiresMutex(body *ast.BlockStmt, recvName, guard string) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -205,7 +207,16 @@ func acquiresMutex(body *ast.BlockStmt, recvName, guard string) bool {
 			return true
 		}
 		sel, isSel := call.Fun.(*ast.SelectorExpr)
-		if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !isSel {
+			return true
+		}
+		if guard == "mu" && (sel.Sel.Name == "lock" || sel.Sel.Name == "rlock") {
+			if id, isID := sel.X.(*ast.Ident); isID && id.Name == recvName {
+				found = true
+				return false
+			}
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
 			return true
 		}
 		inner, isInner := sel.X.(*ast.SelectorExpr)

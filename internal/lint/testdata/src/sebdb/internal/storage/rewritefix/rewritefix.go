@@ -1,0 +1,57 @@
+// Package rewritefix seeds the storage half of the atomicwrite staging
+// rule: a truncating creation (O_CREATE|O_TRUNC — the recompression
+// rewrite) must target a tmp path that a later rename publishes, while
+// the append-only creation of the active segment legitimately opens its
+// published name.
+package rewritefix
+
+import (
+	"io"
+	"os"
+)
+
+// FS mirrors the faultfs surface the real storage code writes through.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (io.WriteCloser, error)
+	Rename(oldpath, newpath string) error
+}
+
+// RewriteInPlace clobbers the published segment directly — a crash
+// mid-rewrite destroys committed blocks.
+func RewriteInPlace(fs FS, seg string, b []byte) error {
+	f, err := fs.OpenFile(seg, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644) // want:atomicwrite
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() //sebdb:ignore-err the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// RewriteStaged stages the rewrite at a tmp path and renames into
+// place: the crash matrix can fire anywhere and the published segment
+// is either the old file or the new one, never a tear.
+func RewriteStaged(fs FS, seg string, b []byte) error {
+	tmp := seg + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() //sebdb:ignore-err the write error takes precedence
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, seg)
+}
+
+// OpenTail is fine: the active segment's append-only creation never
+// truncates, so a crash can tear at most the unsynced suffix the
+// recovery scan already repairs.
+func OpenTail(fs FS, seg string) (io.WriteCloser, error) {
+	return fs.OpenFile(seg, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -33,7 +33,11 @@ import (
 const (
 	ckptMagic     = 0x5EBD_C4B7
 	manifestMagic = 0x5EBD_3A1F
-	version       = 1
+	// version 2 added the per-block stored length and compression flag
+	// (storage.Meta.Stored/Comp) so checkpoints describe recompressed
+	// segments. Version-1 checkpoints are rejected as corrupt, which
+	// callers treat as "no checkpoint" and fall back to full replay.
+	version = 2
 )
 
 // ErrCorrupt is returned when a checkpoint or manifest fails its CRC,
@@ -114,6 +118,12 @@ func (c *Checkpoint) Encode() []byte {
 		e.Uint32(c.Store.Locs[i].Segment)
 		e.Int64(c.Store.Locs[i].Offset)
 		e.Int64(c.Store.Lens[i])
+		e.Int64(c.Store.Stored[i])
+		if c.Store.Comp[i] {
+			e.Uint8(1)
+		} else {
+			e.Uint8(0)
+		}
 		e.Count(len(c.Store.TxOffs[i]))
 		for _, o := range c.Store.TxOffs[i] {
 			e.Uint32(o)
@@ -225,6 +235,8 @@ func Decode(buf []byte) (*Checkpoint, error) {
 		Headers: make([]types.BlockHeader, 0, n),
 		Locs:    make([]storage.Location, 0, n),
 		Lens:    make([]int64, 0, n),
+		Stored:  make([]int64, 0, n),
+		Comp:    make([]bool, 0, n),
 		TxOffs:  make([][]uint32, 0, n),
 	}
 	for i := 0; i < n; i++ {
@@ -243,6 +255,14 @@ func Decode(buf []byte) (*Checkpoint, error) {
 		if err != nil {
 			return nil, corrupt(err)
 		}
+		st, err := d.Int64()
+		if err != nil {
+			return nil, corrupt(err)
+		}
+		cf, err := d.Uint8()
+		if err != nil || cf > 1 {
+			return nil, fmt.Errorf("%w: bad compression flag", ErrCorrupt)
+		}
 		no, err := count(d)
 		if err != nil {
 			return nil, err
@@ -256,6 +276,8 @@ func Decode(buf []byte) (*Checkpoint, error) {
 		c.Store.Headers = append(c.Store.Headers, h)
 		c.Store.Locs = append(c.Store.Locs, loc)
 		c.Store.Lens = append(c.Store.Lens, bl)
+		c.Store.Stored = append(c.Store.Stored, st)
+		c.Store.Comp = append(c.Store.Comp, cf == 1)
 		c.Store.TxOffs = append(c.Store.TxOffs, offs)
 	}
 

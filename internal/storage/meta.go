@@ -21,8 +21,16 @@ type Meta struct {
 	Headers []types.BlockHeader
 	// Locs holds each block's on-disk location.
 	Locs []Location
-	// Lens holds each block's encoded body length.
+	// Lens holds each block's raw encoded body length. This is
+	// chain-derived (divergence checks compare it across nodes), so
+	// recompression never changes it.
 	Lens []int64
+	// Stored holds each block's on-disk record payload length — equal
+	// to Lens for plain records, smaller for compressed ones. Node-
+	// local: two replicas of the same chain may disagree here.
+	Stored []int64
+	// Comp records which blocks are stored compressed.
+	Comp []bool
 	// TxOffs holds each block's transaction byte offsets (with the
 	// final sentinel), as maintained by Append and scanSegment.
 	TxOffs [][]uint32
@@ -43,6 +51,8 @@ func (s *Store) Meta(count uint64) (*Meta, error) {
 		Headers: append([]types.BlockHeader(nil), s.headers[:count]...),
 		Locs:    append([]Location(nil), s.locs[:count]...),
 		Lens:    append([]int64(nil), s.lens[:count]...),
+		Stored:  append([]int64(nil), s.stored[:count]...),
+		Comp:    append([]bool(nil), s.comp[:count]...),
 		TxOffs:  make([][]uint32, count),
 	}
 	for i := range m.TxOffs {
@@ -53,11 +63,14 @@ func (s *Store) Meta(count uint64) (*Meta, error) {
 
 // OpenWithMeta opens the store seeded with checkpoint metadata,
 // scanning only the blocks appended after the metadata was taken. The
-// metadata is verified against the segments before it is trusted: the
-// last covered block is re-read from disk (magic, CRC, decoded header)
-// and its hash must equal the metadata's tip hash — the checkpoint's
-// anchor. Any disagreement returns ErrMetaMismatch, on which callers
-// must fall back to a full-replay Open.
+// metadata is verified against the segments before it is trusted: in
+// every segment it covers, the last covered block is re-read from disk
+// (magic, CRC, decoded header) and its hash must equal the metadata's —
+// a per-segment anchor. One anchor per segment is what recompression
+// demands: a rewrite shifts every offset after the first resized
+// record, so the tip alone can no longer vouch for older segments.
+// Any disagreement returns ErrMetaMismatch, on which callers must fall
+// back to a full-replay Open.
 func OpenWithMeta(dir string, opts Options, m *Meta) (*Store, error) {
 	s, err := newStore(dir, opts)
 	if err != nil {
@@ -73,20 +86,32 @@ func OpenWithMeta(dir string, opts Options, m *Meta) (*Store, error) {
 func (s *Store) openWithMeta(m *Meta) error {
 	if m == nil || len(m.Headers) == 0 ||
 		len(m.Headers) != len(m.Locs) || len(m.Headers) != len(m.Lens) ||
+		len(m.Headers) != len(m.Stored) || len(m.Headers) != len(m.Comp) ||
 		len(m.Headers) != len(m.TxOffs) {
 		return fmt.Errorf("%w: malformed metadata", ErrMetaMismatch)
 	}
 	last := len(m.Headers) - 1
 	loc := m.Locs[last]
-	bodyLen, err := s.verifyAnchor(m, last)
-	if err != nil {
-		return err
+	// Verify the last covered block of every covered segment. A stale
+	// checkpoint — taken before a segment was recompressed — fails its
+	// anchor (the record is no longer at the recorded offset, or its
+	// representation changed) and degrades to a full replay.
+	for i := last; i >= 0; {
+		if err := s.verifyAnchor(m, i); err != nil {
+			return err
+		}
+		seg := m.Locs[i].Segment
+		for i >= 0 && m.Locs[i].Segment == seg {
+			i--
+		}
 	}
 
-	// The anchor matches the bytes on disk: seed the in-memory state.
+	// The anchors match the bytes on disk: seed the in-memory state.
 	s.headers = append([]types.BlockHeader(nil), m.Headers...)
 	s.locs = append([]Location(nil), m.Locs...)
 	s.lens = append([]int64(nil), m.Lens...)
+	s.stored = append([]int64(nil), m.Stored...)
+	s.comp = append([]bool(nil), m.Comp...)
 	s.txOffs = make([][]uint32, len(m.TxOffs))
 	for i := range m.TxOffs {
 		s.txOffs[i] = append([]uint32(nil), m.TxOffs[i]...)
@@ -95,7 +120,15 @@ func (s *Store) openWithMeta(m *Meta) error {
 	for i := range m.Headers {
 		s.txBase[i] = m.Headers[i].FirstTid
 	}
+	for i, c := range m.Comp {
+		if c {
+			s.compacted[m.Locs[i].Segment] = true
+		}
+	}
 
+	if err := s.removeLeftoverTmp(); err != nil {
+		return err
+	}
 	// Scan only the suffix: the bytes after the anchor block in its
 	// segment, plus any later segments.
 	segs, err := s.listSegs()
@@ -105,7 +138,7 @@ func (s *Store) openWithMeta(m *Meta) error {
 	if len(segs) == 0 || segs[len(segs)-1] < loc.Segment {
 		return fmt.Errorf("%w: anchor segment %06d missing", ErrMetaMismatch, loc.Segment)
 	}
-	start := loc.Offset + headerSize + bodyLen + trailerSize
+	start := loc.Offset + headerSize + m.Stored[last] + trailerSize
 	for _, n := range segs {
 		if n < loc.Segment {
 			continue
@@ -133,6 +166,7 @@ func (s *Store) openWithMeta(m *Meta) error {
 			s.curSeg, s.curSize = n, valid
 		}
 	}
+	s.activeSeg.Store(s.curSeg)
 	f, err := s.fs.OpenFile(s.segPath(s.curSeg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
@@ -141,41 +175,53 @@ func (s *Store) openWithMeta(m *Meta) error {
 	return nil
 }
 
-// verifyAnchor re-reads block `last` from disk and checks magic, CRC
-// and header hash against the metadata, returning the stored body
-// length. All failures are ErrMetaMismatch.
-func (s *Store) verifyAnchor(m *Meta, last int) (int64, error) {
-	loc := m.Locs[last]
+// verifyAnchor re-reads block i from disk and checks magic, CRC,
+// stored and raw lengths and header hash against the metadata. All
+// failures are ErrMetaMismatch.
+func (s *Store) verifyAnchor(m *Meta, i int) error {
+	loc := m.Locs[i]
 	f, err := s.fs.Open(s.segPath(loc.Segment))
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+		return fmt.Errorf("%w: %v", ErrMetaMismatch, err)
 	}
 	defer f.Close() //sebdb:ignore-err read-only handle
 	hdr := make([]byte, headerSize)
 	if _, err := f.ReadAt(hdr, loc.Offset); err != nil {
-		return 0, fmt.Errorf("%w: reading anchor record: %v", ErrMetaMismatch, err)
+		return fmt.Errorf("%w: reading anchor record: %v", ErrMetaMismatch, err)
 	}
-	if magic := binary.BigEndian.Uint32(hdr); magic != recordMagic {
-		return 0, fmt.Errorf("%w: bad magic at anchor", ErrMetaMismatch)
+	magic, want := binary.BigEndian.Uint32(hdr), uint32(recordMagic)
+	if m.Comp[i] {
+		want = recordMagicZ
+	}
+	if magic != want {
+		return fmt.Errorf("%w: bad magic at anchor (height %d)", ErrMetaMismatch, i)
 	}
 	n := binary.BigEndian.Uint32(hdr[4:])
-	if int64(n) != m.Lens[last] {
-		return 0, fmt.Errorf("%w: anchor length %d != %d", ErrMetaMismatch, n, m.Lens[last])
+	if int64(n) != m.Stored[i] {
+		return fmt.Errorf("%w: anchor stored length %d != %d", ErrMetaMismatch, n, m.Stored[i])
 	}
 	payload := make([]byte, int(n)+trailerSize)
 	if _, err := f.ReadAt(payload, loc.Offset+headerSize); err != nil {
-		return 0, fmt.Errorf("%w: reading anchor body: %v", ErrMetaMismatch, err)
+		return fmt.Errorf("%w: reading anchor body: %v", ErrMetaMismatch, err)
 	}
 	body := payload[:n]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[n:]) {
-		return 0, fmt.Errorf("%w: anchor CRC mismatch", ErrMetaMismatch)
+		return fmt.Errorf("%w: anchor CRC mismatch", ErrMetaMismatch)
+	}
+	if m.Comp[i] {
+		if body, err = inflateBody(body); err != nil {
+			return fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+		}
+	}
+	if int64(len(body)) != m.Lens[i] {
+		return fmt.Errorf("%w: anchor raw length %d != %d", ErrMetaMismatch, len(body), m.Lens[i])
 	}
 	h, err := types.DecodeBlockHeader(types.NewDecoder(body))
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrMetaMismatch, err)
+		return fmt.Errorf("%w: %v", ErrMetaMismatch, err)
 	}
-	if h.Height != uint64(last) || h.Hash() != m.Headers[last].Hash() {
-		return 0, fmt.Errorf("%w: anchor hash disagrees at height %d", ErrMetaMismatch, last)
+	if h.Height != uint64(i) || h.Hash() != m.Headers[i].Hash() {
+		return fmt.Errorf("%w: anchor hash disagrees at height %d", ErrMetaMismatch, i)
 	}
-	return int64(n), nil
+	return nil
 }

@@ -15,3 +15,33 @@ var (
 	mAppends    = obs.Default.Counter("sebdb_storage_appends_total")
 	mAppendWr   = obs.Default.Counter("sebdb_storage_append_bytes_total")
 )
+
+// Tiered-read-path metrics: which backend served each segment read,
+// how much the cold tier saved, and how the bounded handle cache is
+// behaving.
+var (
+	mTierPread = obs.Default.Counter(`sebdb_storage_tier_reads_total{tier="pread"}`)
+	mTierMmap  = obs.Default.Counter(`sebdb_storage_tier_reads_total{tier="mmap"}`)
+	// mCompressedBytes tracks the stored (deflated) payload bytes
+	// currently on disk in compressed records.
+	mCompressedBytes = obs.Default.Gauge("sebdb_storage_compressed_bytes")
+	// mCompressSaved accumulates raw-minus-stored byte savings across
+	// all recompression rewrites.
+	mCompressSaved = obs.Default.Counter("sebdb_storage_compress_saved_bytes_total")
+	mRecompressed  = obs.Default.Counter("sebdb_storage_segments_recompressed_total")
+	// mMmapFallbacks counts sealed-segment opens that wanted mmap but
+	// fell back to pread (platform without mmap, mapping failure, or an
+	// FS that does not implement faultfs.Mapper).
+	mMmapFallbacks = obs.Default.Counter("sebdb_storage_mmap_fallbacks_total")
+	// Handle-cache health: evicted descriptors and lock contention.
+	mHandleEvictions  = obs.Default.Counter("sebdb_storage_handle_evictions_total")
+	mHandleContention = obs.Default.Counter("sebdb_storage_handle_lock_contention_total")
+)
+
+// tierCounter maps a SegmentReader tier to its read counter.
+func tierCounter(tier string) *obs.Counter {
+	if tier == TierMmap {
+		return mTierMmap
+	}
+	return mTierPread
+}

@@ -59,6 +59,13 @@ echo "== metrics + flight-recorder endpoint smoke =="
 # covers /metrics, /debug/vars and the nil recorder/logger paths.
 go test -race -run 'TestMetricsEndpoints|TestTraceLogEndpoints' ./cmd/sebdb-server
 
+echo "== storage tier stress (-race) =="
+# Mmap-vs-pread byte equivalence, the recompression crash matrix,
+# sharded-cache stripe semantics, and readers racing recompression and
+# commits across the storage, cache and core layers.
+go test -race -run 'Tier|Compress|Sharded|HandleCache|MmapFallback' \
+    ./internal/storage ./internal/cache ./internal/core
+
 echo "== replication stress (-race) =="
 # Follower tail-verify-apply vs concurrent pushes and reads, cursor
 # resume across restarts, tampered/forged push rejection, and the
@@ -87,6 +94,14 @@ fi
 go run ./cmd/bchainbench -fig replicas -scale 0.01 -json "$json_out" >/dev/null
 if ! grep -q '"figure"' "$json_out"; then
     echo "bchainbench -fig replicas -json produced no figure data" >&2
+    exit 1
+fi
+# fig storage errors out internally if the four tier variants' scan
+# digests diverge, so this smoke doubles as a cross-tier equivalence
+# check on a real chain.
+go run ./cmd/bchainbench -fig storage -scale 0.01 -json "$json_out" >/dev/null
+if ! grep -q '"figure"' "$json_out"; then
+    echo "bchainbench -fig storage -json produced no figure data" >&2
     exit 1
 fi
 
